@@ -1,0 +1,123 @@
+// Command vrpbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	vrpbench            reproduce everything
+//	vrpbench -fig 4     the worked example (Figure 2/3/4)
+//	vrpbench -fig 5     expression evaluations vs program size
+//	vrpbench -fig 6     evaluation sub-operations vs program size
+//	vrpbench -fig 7     int suite error distributions (unweighted + weighted)
+//	vrpbench -fig 8     fp suite error distributions
+//	vrpbench -summary   §5 headline numbers
+//	vrpbench -apps      §6 applications
+//	vrpbench -ablations DESIGN.md §5 ablation table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrp"
+	"vrp/internal/bench"
+	"vrp/internal/corpus"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "reproduce one figure (4-8); 0 = all")
+		summary   = flag.Bool("summary", false, "print the §5 summary only")
+		apps      = flag.Bool("apps", false, "print the §6 applications only")
+		ablations = flag.Bool("ablations", false, "print the ablation table only")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	var err error
+	switch {
+	case *summary:
+		err = bench.PrintSummary(w)
+		if err == nil {
+			err = bench.PrintHitRates(w)
+		}
+	case *apps:
+		err = bench.PrintApplications(w)
+	case *ablations:
+		err = bench.PrintAblations(w)
+	case *fig != 0:
+		switch *fig {
+		case 4:
+			err = printFig4(w)
+		case 5:
+			err = bench.PrintLinearity(w, false)
+		case 6:
+			err = bench.PrintLinearity(w, true)
+		case 7:
+			err = bench.PrintFigure(w, corpus.IntSuite)
+		case 8:
+			err = bench.PrintFigure(w, corpus.FPSuite)
+		default:
+			fmt.Fprintf(os.Stderr, "vrpbench: unknown figure %d\n", *fig)
+			os.Exit(2)
+		}
+	default:
+		steps := []func() error{
+			func() error { return printFig4(w) },
+			func() error { return bench.PrintLinearity(w, false) },
+			func() error { return bench.PrintLinearity(w, true) },
+			func() error { return bench.PrintFigure(w, corpus.IntSuite) },
+			func() error { return bench.PrintFigure(w, corpus.FPSuite) },
+			func() error { return bench.PrintSummary(w) },
+			func() error { return bench.PrintHitRates(w) },
+			func() error { return bench.PrintApplications(w) },
+			func() error { return bench.PrintAblations(w) },
+		}
+		for _, s := range steps {
+			if err = s(); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// printFig4 reproduces the paper's worked example (Figures 2-4): the value
+// ranges of x and y and the three branch probabilities 91%/20%/30%.
+func printFig4(w *os.File) error {
+	const src = `
+func main() {
+	var y = 0;
+	for (var x = 0; x < 10; x++) {
+		if (x > 7) { y = 1; } else { y = x; }
+		if (y == 1) {
+			print(y); // Block A
+		}
+	}
+}
+`
+	p, err := vrp.Compile("figure2.mini", src)
+	if err != nil {
+		return err
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 4: results for the paper's worked example")
+	fmt.Fprintln(w, "value ranges:")
+	for _, v := range []string{"x.0", "x.1", "x.2", "x.3", "x.4", "x.5", "x.6", "x.7", "y.0", "y.1", "y.2", "y.3"} {
+		if s, ok := a.ValueString("main", v); ok {
+			fmt.Fprintf(w, "  %-5s = %s\n", v, s)
+		}
+	}
+	fmt.Fprintln(w, "branch probabilities (paper: x<10 91%, x>7 20%, y==1 30%):")
+	for _, pr := range a.Predictions() {
+		fmt.Fprintf(w, "  p(true) = %.0f%%  [%s]\n", 100*pr.Prob, pr.Source)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

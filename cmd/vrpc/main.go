@@ -1,0 +1,146 @@
+// Command vrpc compiles a Mini source file, runs value range propagation,
+// and reports branch predictions and final value ranges.
+//
+// Usage:
+//
+//	vrpc [flags] file.mini
+//
+// Flags:
+//
+//	-ir          dump the SSA IR
+//	-ranges      dump final value ranges for named variables
+//	-numeric     disable symbolic ranges
+//	-run         execute the program; remaining arguments are the input
+//	             stream (integers)
+//	-profile     with -run, print observed branch probabilities next to
+//	             the predictions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"vrp"
+	"vrp/internal/ir"
+)
+
+func main() {
+	var (
+		dumpIR     = flag.Bool("ir", false, "dump the SSA IR")
+		dumpDot    = flag.Bool("dot", false, "dump the CFG in Graphviz DOT format (edges labelled with predicted frequencies)")
+		dumpRanges = flag.Bool("ranges", false, "dump final value ranges of named variables")
+		numeric    = flag.Bool("numeric", false, "disable symbolic ranges")
+		run        = flag.Bool("run", false, "execute the program on the inputs given after the file name")
+		profile    = flag.Bool("profile", false, "with -run, print observed branch probabilities")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: vrpc [flags] file.mini [inputs...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	src, err := os.ReadFile(name)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vrp.Compile(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(prog.IR.String())
+	}
+
+	var opts []vrp.Option
+	if *numeric {
+		opts = append(opts, vrp.NumericOnly())
+	}
+	analysis, err := prog.Analyze(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpDot {
+		prog.IR.WriteDot(os.Stdout, func(f *ir.Func, e *ir.Edge) string {
+			fr := analysis.Result.Funcs[f]
+			if fr == nil || e.ID >= len(fr.EdgeFreq) {
+				return ""
+			}
+			return fmt.Sprintf("%.3g", fr.EdgeFreq[e.ID])
+		})
+		return
+	}
+
+	var input []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad input value %q: %w", a, err))
+		}
+		input = append(input, v)
+	}
+	observed := map[*ir.Instr]float64{}
+	if *run {
+		prof, err := prog.Run(input)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("output: %v (result %d, %d steps)\n", prof.Output, prof.Result, prof.Steps)
+		if *profile {
+			for _, f := range prog.IR.Funcs {
+				for _, b := range f.Blocks {
+					if t := b.Terminator(); t != nil && t.Op == ir.OpBr {
+						if p, ok := prof.BranchProb(f, t); ok {
+							observed[t] = p
+						}
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Println("branch predictions (probability of the true edge):")
+	for _, p := range analysis.Predictions() {
+		line := fmt.Sprintf("  %s:%s  p(true)=%.3f  [%s]", p.Func, p.Pos, p.Prob, p.Source)
+		if obs, ok := observed[p.Branch]; ok {
+			line += fmt.Sprintf("  observed=%.3f  err=%.1fpp", obs, 100*absf(p.Prob-obs))
+		}
+		fmt.Println(line)
+	}
+
+	if *dumpRanges {
+		fmt.Println("final value ranges:")
+		for _, f := range prog.IR.Funcs {
+			var names []string
+			for _, n := range f.Names {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			seen := map[string]bool{}
+			for _, n := range names {
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				if s, ok := analysis.ValueString(f.Name, n); ok && s != "⊤" {
+					fmt.Printf("  %s.%s = %s\n", f.Name, n, s)
+				}
+			}
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vrpc:", err)
+	os.Exit(1)
+}

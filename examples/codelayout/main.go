@@ -1,0 +1,68 @@
+// Codelayout: drive profile-guided code layout from *static* predictions
+// (§6, "Code Layout, Cache Optimization & Inlining"): hot paths become
+// straight-line code without ever running the program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrp"
+	"vrp/internal/apps"
+)
+
+const src = `
+func process(v) {
+	// The error path is cold: v is a loop counter 0..999, and the guard
+	// v < 0 is statically impossible — VRP proves the branch never taken.
+	if (v < 0) {
+		print(-1);
+		return 0;
+	}
+	// Rare path: only the occasional spike exceeds the threshold.
+	if (v % 100 == 99) {
+		return v * 2;
+	}
+	return v + 1;
+}
+
+func main() {
+	var total = 0;
+	for (var i = 0; i < 1000; i++) {
+		total = total + process(i);
+	}
+	print(total);
+}
+`
+
+func main() {
+	prog, err := vrp.Compile("codelayout.mini", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := prog.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("branch predictions driving the layout:")
+	for _, p := range analysis.Predictions() {
+		fmt.Printf("  %s at %s: p(true)=%.3f [%s]\n", p.Func, p.Pos, p.Prob, p.Source)
+	}
+
+	layout := apps.LayoutChains(analysis.Result)
+	fmt.Println("\noptimized block order per function:")
+	for _, f := range prog.IR.Funcs {
+		fmt.Printf("  %-8s %v\n", f.Name, layout.Order[f])
+	}
+	fmt.Printf("\nfallthrough ratio (higher = fewer taken branches at runtime):\n")
+	fmt.Printf("  original layout:  %.2f\n", layout.FallthroughBefore)
+	fmt.Printf("  predicted chains: %.2f\n", layout.FallthroughAfter)
+
+	dead := apps.UnreachableBlocks(analysis.Result)
+	for _, f := range prog.IR.Funcs {
+		if ids := dead[f]; len(ids) > 0 {
+			fmt.Printf("\nunreachable blocks in %s (probability 0): %v\n", f.Name, ids)
+		}
+	}
+}

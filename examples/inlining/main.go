@@ -1,0 +1,75 @@
+// Inlining: drive inlining and interprocedural register allocation
+// decisions from statically predicted frequencies (§6: these optimizations
+// want "the execution frequencies of functions and basic blocks", computed
+// here by propagating VRP's branch probabilities through the loop nests
+// and the call graph — no profiling run required).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrp"
+)
+
+const src = `
+func scale(v) {
+	// Tiny and called on every iteration: a prime inlining candidate.
+	return v * 3 + 1;
+}
+
+func normalize(v, hi) {
+	// Bigger body, called rarely (cold cleanup path).
+	var r = v;
+	if (r < 0) { r = -r; }
+	while (r >= hi) {
+		r = r - hi;
+		if (r % 7 == 0) { r = r / 7; }
+	}
+	return r;
+}
+
+func main() {
+	var acc = 0;
+	for (var i = 0; i < 5000; i++) {
+		acc = acc + scale(i);
+		if (i % 1000 == 999) {
+			acc = normalize(acc, 100000);
+		}
+	}
+	print(acc);
+}
+`
+
+func main() {
+	prog, err := vrp.Compile("inlining.mini", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := prog.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	freqs := analysis.Frequencies()
+
+	fmt.Println("predicted function invocation counts (per run, no profiling):")
+	for _, f := range freqs.HotFunctions() {
+		fmt.Printf("  %-10s %10.1f calls\n", f.Name, freqs.Invocations[f])
+	}
+
+	fmt.Println("\ninlining candidates, hottest first (calls / callee size):")
+	for _, c := range freqs.InlineCandidates(prog.IR) {
+		fmt.Printf("  %s -> %-10s %10.1f dynamic calls, callee %3d instrs, score %8.2f\n",
+			c.Caller.Name, c.Callee.Name, c.Calls, c.Callee.NumInstrs(), c.Score)
+	}
+
+	// Compare against ground truth.
+	prof, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nactual invocation counts:")
+	for _, f := range prog.IR.Funcs {
+		fmt.Printf("  %-10s %10d calls\n", f.Name, prof.CallCount[f])
+	}
+}

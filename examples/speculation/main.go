@@ -1,0 +1,64 @@
+// Speculation: the paper's motivating use case for *probabilities* rather
+// than taken/not-taken bits (§3.1, §5): assessing the profit of
+// speculatively hoisting an instruction above a series of branches.
+//
+// "Consider the decision of whether to speculatively move an instruction
+// up through two conditional branches. If each branch is taken 60% of the
+// time, our instruction will only be useful 36% of the time."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrp"
+)
+
+const src = `
+func main() {
+	var useful = 0;
+	for (var i = 0; i < 1000; i++) {
+		// Two nested data checks; an instruction hoisted above both is
+		// useful only when both tests pass.
+		if (i % 10 < 6) {
+			if (i % 7 < 4) {
+				useful = useful + 1;
+			}
+		}
+	}
+	print(useful);
+}
+`
+
+func main() {
+	prog, err := vrp.Compile("speculation.mini", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := prog.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk the predictions: the loop branch plus the two guards.
+	var guardProbs []float64
+	for _, p := range analysis.Predictions() {
+		fmt.Printf("branch at %s: p(true)=%.3f [%s]\n", p.Pos, p.Prob, p.Source)
+		if p.Prob < 0.9 { // the two data guards (the loop branch is ~0.999)
+			guardProbs = append(guardProbs, p.Prob)
+		}
+	}
+	if len(guardProbs) >= 2 {
+		joint := guardProbs[0] * guardProbs[1]
+		fmt.Printf("\nspeculating above both guards is useful %.0f%% of the time\n", 100*joint)
+		fmt.Printf("a taken/not-taken predictor would have called it \"always useful\"\n")
+	}
+
+	// Ground truth.
+	prof, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nactual: the hoisted instruction would be useful %d/1000 = %.0f%% of iterations\n",
+		prof.Output[0], float64(prof.Output[0])/10)
+}

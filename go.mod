@@ -1,0 +1,3 @@
+module vrp
+
+go 1.22

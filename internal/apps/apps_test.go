@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+	corevrp "vrp/internal/vrp"
+)
+
+func analyze(t *testing.T, src string) *corevrp.Result {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssaform.Build(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFindConstants(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a = 6;
+	var b = a * 7;
+	var c = input();
+	print(b + c);
+}`)
+	rep := FindConstantsAndCopies(res)
+	f := res.Prog.Main()
+	consts := rep.Constants[f]
+	found42 := false
+	for _, v := range consts {
+		if v == 42 {
+			found42 = true
+		}
+	}
+	if !found42 {
+		t.Errorf("42 not proven constant: %v", consts)
+	}
+}
+
+func TestFindCopies(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var x = input();
+	var y = x;
+	print(y + 1);
+}`)
+	rep := FindConstantsAndCopies(res)
+	f := res.Prog.Main()
+	if len(rep.Copies[f]) == 0 {
+		t.Error("no copies found for y = x")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var flag = 0;
+	if (flag == 1) {
+		print(111); // dead
+	}
+	print(2);
+}`)
+	f := res.Prog.Main()
+	dead := UnreachableBlocks(res)[f]
+	if len(dead) == 0 {
+		t.Fatal("dead block not detected")
+	}
+	// The dead block is the one containing print(111): check it holds a
+	// print of the constant 111.
+	foundDeadPrint := false
+	for _, id := range dead {
+		for _, in := range f.Blocks[id].Instrs {
+			if in.Op == ir.OpPrint {
+				foundDeadPrint = true
+			}
+		}
+	}
+	if !foundDeadPrint {
+		t.Errorf("dead blocks %v do not include the print", dead)
+	}
+}
+
+func TestAllReachable(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	if (input() > 0) { print(1); } else { print(2); }
+}`)
+	f := res.Prog.Main()
+	if dead := UnreachableBlocks(res)[f]; len(dead) != 0 {
+		t.Errorf("spurious dead blocks: %v", dead)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a[100];
+	for (var i = 0; i < 100; i++) { a[i] = i; } // provably safe
+	var j = input();
+	a[j] = 1; // not provable
+	print(a[0]);
+}`)
+	rep := EliminateBoundsChecks(res)
+	if rep.Total != 3 {
+		t.Fatalf("total = %d, want 3", rep.Total)
+	}
+	if rep.Removable != 2 {
+		t.Errorf("removable = %d, want 2 (loop store + a[0] load)", rep.Removable)
+	}
+}
+
+func TestBoundsCheckOffByOne(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a[10];
+	for (var i = 0; i <= 10; i++) { a[i] = i; } // off-by-one: NOT removable
+	print(a[0]);
+}`)
+	rep := EliminateBoundsChecks(res)
+	for _, c := range rep.Checks {
+		if c.Instr.Op == ir.OpStore && c.Removable {
+			t.Error("off-by-one store wrongly proven safe")
+		}
+	}
+}
+
+func TestAliasDisjoint(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a[100];
+	for (var i = 0; i < 49; i++) {
+		a[i] = a[i + 50]; // load [50:99] vs store [0:48]: disjoint
+	}
+	print(a[0]);
+}`)
+	rep := DisjointArrayAccesses(res)
+	if rep.Total == 0 {
+		t.Fatal("no pairs examined")
+	}
+	if rep.Disjoint == 0 {
+		t.Errorf("disjoint pair not proven: %+v", rep.Pairs)
+	}
+}
+
+func TestAliasStrideDisjoint(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a[100];
+	for (var i = 0; i < 49; i++) {
+		a[2 * i] = a[2 * i + 1]; // evens vs odds: disjoint by stride
+	}
+	print(a[0]);
+}`)
+	rep := DisjointArrayAccesses(res)
+	if rep.Disjoint == 0 {
+		t.Error("stride-disjoint accesses not proven")
+	}
+}
+
+func TestAliasOverlapNotProven(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	var a[100];
+	for (var i = 0; i < 99; i++) {
+		a[i] = a[i + 1]; // genuinely overlapping
+	}
+	print(a[0]);
+}`)
+	rep := DisjointArrayAccesses(res)
+	for _, p := range rep.Pairs {
+		if p.Disjoint && p.A.Op != p.B.Op {
+			t.Error("overlapping shifted accesses wrongly proven disjoint")
+		}
+	}
+}
+
+func TestLayoutImproves(t *testing.T) {
+	res := analyze(t, `
+func main() {
+	for (var i = 0; i < 1000; i++) {
+		if (i % 100 == 0) {
+			print(i); // cold path laid out inline originally
+		}
+	}
+}`)
+	rep := LayoutChains(res)
+	if rep.FallthroughAfter < rep.FallthroughBefore {
+		t.Errorf("layout regressed: %.2f -> %.2f", rep.FallthroughBefore, rep.FallthroughAfter)
+	}
+	f := res.Prog.Main()
+	order := rep.Order[f]
+	if len(order) != len(f.Blocks) {
+		t.Fatalf("layout order misses blocks: %v", order)
+	}
+	if order[0] != f.Entry.ID {
+		t.Error("entry must be laid out first")
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("block %d emitted twice", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,216 @@
+package apps
+
+import (
+	"testing"
+
+	"vrp/internal/corpus"
+	"vrp/internal/interp"
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+	corevrp "vrp/internal/vrp"
+)
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssaform.Build(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestOptimizeConstants(t *testing.T) {
+	prog := compileSrc(t, `
+func main() {
+	var a = 6;
+	var b = a * 7;
+	var c = b + 0;
+	print(c + input());
+}`)
+	res, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Optimize(res)
+	if rep.ConstantsMaterialized == 0 {
+		t.Error("no constants materialized")
+	}
+	if rep.InstructionsRemoved == 0 {
+		t.Error("no dead instructions removed")
+	}
+	// The surviving arithmetic must not recompute 6*7.
+	f := prog.Main()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp == ir.BinMul {
+				t.Errorf("multiplication survived constant folding: %s", in)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Errorf("verify after optimize: %v", err)
+		}
+	}
+}
+
+func TestOptimizeBranchFolding(t *testing.T) {
+	prog := compileSrc(t, `
+func main() {
+	var flag = 1;
+	if (flag == 1) { print(10); } else { print(20); }
+	for (var i = 0; i < 8; i++) {
+		if (i < 0) { print(99); } // impossible
+	}
+}`)
+	res, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Optimize(res)
+	if rep.BranchesFolded < 2 {
+		t.Errorf("folded %d branches, want >= 2", rep.BranchesFolded)
+	}
+	// Behaviour must be unchanged.
+	prof, err := interp.Run(prog, nil, interp.Options{})
+	if err != nil {
+		t.Fatalf("optimized program trapped: %v", err)
+	}
+	if len(prof.Output) != 1 || prof.Output[0] != 10 {
+		t.Errorf("output = %v, want [10]", prof.Output)
+	}
+}
+
+func TestOptimizeKeepsEffects(t *testing.T) {
+	// Calls, prints, stores and inputs must survive even when their
+	// results are unused or constant.
+	prog := compileSrc(t, `
+func noisy() { print(7); return 3; }
+func main() {
+	var x = noisy(); // result constant {3} but the call must stay
+	var unused = input();
+	var a[4];
+	a[0] = 1;
+	print(x);
+}`)
+	res, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(res)
+	prof, err := interp.Run(prog, []int64{42}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Output) != 2 || prof.Output[0] != 7 || prof.Output[1] != 3 {
+		t.Errorf("output = %v, want [7 3]", prof.Output)
+	}
+}
+
+// TestOptimizeDifferentialCorpus is the heavyweight guarantee: optimizing
+// every corpus program must preserve its output on both input sets while
+// never increasing the executed instruction count.
+func TestOptimizeDifferentialCorpus(t *testing.T) {
+	var totalRemoved, totalInstrs int
+	for _, cp := range corpus.All() {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			orig := compileSrc(t, cp.Source)
+			opt := compileSrc(t, cp.Source)
+			res, err := corevrp.Analyze(opt, corevrp.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalInstrs += opt.NumInstrs()
+			rep := Optimize(res)
+			totalRemoved += rep.InstructionsRemoved
+			for _, f := range opt.Funcs {
+				if err := f.Verify(); err != nil {
+					t.Fatalf("verify %s: %v", f.Name, err)
+				}
+			}
+			for _, input := range [][]int64{cp.Train, cp.Ref} {
+				p1, err := interp.Run(orig, input, interp.Options{})
+				if err != nil {
+					t.Fatalf("original: %v", err)
+				}
+				p2, err := interp.Run(opt, input, interp.Options{})
+				if err != nil {
+					t.Fatalf("optimized: %v", err)
+				}
+				if len(p1.Output) != len(p2.Output) {
+					t.Fatalf("output lengths differ: %v vs %v", p1.Output, p2.Output)
+				}
+				for i := range p1.Output {
+					if p1.Output[i] != p2.Output[i] {
+						t.Fatalf("output %d differs: %d vs %d", i, p1.Output[i], p2.Output[i])
+					}
+				}
+				if p2.Steps > p1.Steps {
+					t.Errorf("optimized program executes more steps: %d vs %d", p2.Steps, p1.Steps)
+				}
+			}
+		})
+	}
+	if totalRemoved == 0 {
+		t.Error("optimizer removed nothing across the whole corpus")
+	}
+	t.Logf("removed %d of %d instructions (%.1f%%)", totalRemoved, totalInstrs,
+		100*float64(totalRemoved)/float64(totalInstrs))
+}
+
+// TestOptimizeIdempotent: a second optimize pass (after re-analysis) finds
+// nothing new structural to break — the transform reaches a fixed point.
+func TestOptimizeIdempotent(t *testing.T) {
+	prog := compileSrc(t, `
+func main() {
+	var a = 2;
+	var b = a + 3;
+	if (b == 5) { print(b); }
+	for (var i = 0; i < b; i++) { print(i); }
+}`)
+	res, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(res)
+	res2, err := corevrp.Analyze(prog, corevrp.DefaultConfig())
+	if err != nil {
+		t.Fatalf("re-analysis after optimize: %v", err)
+	}
+	rep2 := Optimize(res2)
+	if rep2.BranchesFolded != 0 {
+		t.Errorf("second pass folded %d branches", rep2.BranchesFolded)
+	}
+	for _, f := range prog.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Errorf("verify: %v", err)
+		}
+	}
+	prof, err := interp.Run(prog, nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 0, 1, 2, 3, 4}
+	if len(prof.Output) != len(want) {
+		t.Fatalf("output = %v", prof.Output)
+	}
+	for i := range want {
+		if prof.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", prof.Output, want)
+		}
+	}
+}

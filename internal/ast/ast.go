@@ -1,0 +1,259 @@
+// Package ast defines the abstract syntax tree of the Mini language.
+//
+// Mini is the integer-typed imperative language used as the substrate for
+// the value range propagation reproduction. It is deliberately shaped like
+// the language of the paper's examples: scalar integer variables, integer
+// arrays (whose loads are statically opaque, like the paper's memory
+// loads), structured control flow and function calls.
+package ast
+
+import (
+	"vrp/internal/source"
+	"vrp/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------------------------------------------------------------- program
+
+// Program is a parsed source file: a list of function declarations.
+type Program struct {
+	File  *source.File
+	Funcs []*FuncDecl
+}
+
+// Pos returns the position of the first function, or zero.
+func (p *Program) Pos() source.Pos {
+	if len(p.Funcs) > 0 {
+		return p.Funcs[0].Pos()
+	}
+	return source.Pos{}
+}
+
+// FuncDecl is a function declaration. All parameters and the return value
+// (if any) are integers.
+type FuncDecl struct {
+	NamePos source.Pos
+	Name    string
+	Params  []*Param
+	Body    *BlockStmt
+}
+
+func (d *FuncDecl) Pos() source.Pos { return d.NamePos }
+
+// Param is a formal parameter.
+type Param struct {
+	NamePos source.Pos
+	Name    string
+}
+
+func (p *Param) Pos() source.Pos { return p.NamePos }
+
+// ------------------------------------------------------------- statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-delimited statement list introducing a scope.
+type BlockStmt struct {
+	LBrace source.Pos
+	Stmts  []Stmt
+}
+
+// VarDecl declares a scalar (`var x = e;`, `var x;`) or an array
+// (`var a[n];`) variable. Scalars without initializer start at 0.
+type VarDecl struct {
+	VarPos source.Pos
+	Name   string
+	Size   Expr // non-nil for arrays: element count
+	Init   Expr // non-nil for initialized scalars
+}
+
+// AssignStmt assigns to a scalar variable or an array element. Op is
+// token.Assign for plain `=`, or a compound operator (+=, -=, ...).
+type AssignStmt struct {
+	Target *VarRef // scalar target, or nil
+	Index  *IndexExpr
+	Op     token.Kind
+	Value  Expr
+}
+
+// IncDecStmt is `x++` or `x--` on a scalar or array element.
+type IncDecStmt struct {
+	Target *VarRef
+	Index  *IndexExpr
+	Op     token.Kind // token.Inc or token.Dec
+}
+
+// IfStmt is a conditional with an optional else arm.
+type IfStmt struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	WhilePos source.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (meaning true).
+type ForStmt struct {
+	ForPos source.Pos
+	Init   Stmt // VarDecl, AssignStmt or IncDecStmt
+	Cond   Expr
+	Post   Stmt // AssignStmt or IncDecStmt
+	Body   Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	KwPos source.Pos
+}
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct {
+	KwPos source.Pos
+}
+
+// ReturnStmt returns from the function, optionally with a value.
+type ReturnStmt struct {
+	KwPos source.Pos
+	Value Expr // may be nil
+}
+
+// PrintStmt writes an integer to the program's output stream.
+type PrintStmt struct {
+	KwPos source.Pos
+	Value Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *BlockStmt) Pos() source.Pos { return s.LBrace }
+func (s *VarDecl) Pos() source.Pos   { return s.VarPos }
+func (s *AssignStmt) Pos() source.Pos {
+	if s.Target != nil {
+		return s.Target.Pos()
+	}
+	return s.Index.Pos()
+}
+func (s *IncDecStmt) Pos() source.Pos {
+	if s.Target != nil {
+		return s.Target.Pos()
+	}
+	return s.Index.Pos()
+}
+func (s *IfStmt) Pos() source.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() source.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() source.Pos      { return s.ForPos }
+func (s *BreakStmt) Pos() source.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() source.Pos { return s.KwPos }
+func (s *ReturnStmt) Pos() source.Pos   { return s.KwPos }
+func (s *PrintStmt) Pos() source.Pos    { return s.KwPos }
+func (s *ExprStmt) Pos() source.Pos     { return s.X.Pos() }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*PrintStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+
+// ------------------------------------------------------------ expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos source.Pos
+	Value  int64
+}
+
+// BoolLit is `true` or `false` (lowered to 1 / 0).
+type BoolLit struct {
+	LitPos source.Pos
+	Value  bool
+}
+
+// VarRef names a scalar variable.
+type VarRef struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// IndexExpr is an array element access `a[i]`.
+type IndexExpr struct {
+	Array   string
+	NamePos source.Pos
+	Index   Expr
+}
+
+// CallExpr calls a user function.
+type CallExpr struct {
+	Name    string
+	NamePos source.Pos
+	Args    []Expr
+}
+
+// InputExpr reads the next value from the program's input stream. Its
+// static value range is bottom — the analysis cannot see program inputs,
+// exactly like the paper's loads from memory.
+type InputExpr struct {
+	KwPos source.Pos
+}
+
+// UnaryExpr is `-x` or `!x`.
+type UnaryExpr struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// BinaryExpr is a binary operation, including comparisons and the
+// short-circuit boolean operators (lowered to control flow in irgen).
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *IntLit) Pos() source.Pos     { return e.LitPos }
+func (e *BoolLit) Pos() source.Pos    { return e.LitPos }
+func (e *VarRef) Pos() source.Pos     { return e.NamePos }
+func (e *IndexExpr) Pos() source.Pos  { return e.NamePos }
+func (e *CallExpr) Pos() source.Pos   { return e.NamePos }
+func (e *InputExpr) Pos() source.Pos  { return e.KwPos }
+func (e *UnaryExpr) Pos() source.Pos  { return e.OpPos }
+func (e *BinaryExpr) Pos() source.Pos { return e.X.Pos() }
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*InputExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vrp"
+	"vrp/internal/apps"
+	"vrp/internal/corpus"
+	"vrp/internal/ir"
+	"vrp/internal/sccp"
+)
+
+// PrintApplications exercises the §6 application passes over the whole
+// corpus and prints aggregate results: constants/copies subsumed,
+// unreachable blocks found, bounds checks removed, disjoint access pairs
+// proven, and layout fallthrough improvement.
+func PrintApplications(w io.Writer) error {
+	var (
+		constsVRP, constsSCCP int
+		copies                int
+		deadBlocks            int
+		boundsTotal, boundsRm int
+		aliasTotal, aliasDis  int
+		fallBefore, fallAfter float64
+		nProgs                int
+		optRemoved, optTotal  int
+		optFolded             int
+	)
+	for _, cp := range corpus.All() {
+		p, err := vrp.Compile(cp.Name+".mini", cp.Source)
+		if err != nil {
+			return err
+		}
+		a, err := p.Analyze()
+		if err != nil {
+			return err
+		}
+		cc := apps.FindConstantsAndCopies(a.Result)
+		for _, m := range cc.Constants {
+			constsVRP += len(m)
+		}
+		for _, m := range cc.Copies {
+			copies += len(m)
+		}
+		for _, f := range p.IR.Funcs {
+			r := sccp.Analyze(f)
+			for reg, in := range f.Defs {
+				if in == nil || in.Op == ir.OpConst {
+					continue
+				}
+				if v := r.Val[reg]; v.Level == sccp.Constant {
+					constsSCCP++
+				}
+			}
+		}
+		for _, ids := range apps.UnreachableBlocks(a.Result) {
+			deadBlocks += len(ids)
+		}
+		br := apps.EliminateBoundsChecks(a.Result)
+		boundsTotal += br.Total
+		boundsRm += br.Removable
+		ar := apps.DisjointArrayAccesses(a.Result)
+		aliasTotal += ar.Total
+		aliasDis += ar.Disjoint
+		lr := apps.LayoutChains(a.Result)
+		fallBefore += lr.FallthroughBefore
+		fallAfter += lr.FallthroughAfter
+
+		// VRP as an optimizer (fresh compile: Optimize mutates the IR).
+		op, err := vrp.Compile(cp.Name+".mini", cp.Source)
+		if err != nil {
+			return err
+		}
+		oa, err := op.Analyze()
+		if err != nil {
+			return err
+		}
+		optTotal += op.IR.NumInstrs()
+		orep := apps.Optimize(oa.Result)
+		optRemoved += orep.InstructionsRemoved
+		optFolded += orep.BranchesFolded
+		nProgs++
+	}
+	fmt.Fprintln(w, "Applications (§6) over the whole corpus:")
+	fmt.Fprintf(w, "  constants proven by VRP:            %d (SCCP finds %d — subsumption requires VRP >= SCCP)\n", constsVRP, constsSCCP)
+	fmt.Fprintf(w, "  copies proven by VRP:               %d\n", copies)
+	fmt.Fprintf(w, "  unreachable blocks detected:        %d\n", deadBlocks)
+	fmt.Fprintf(w, "  array bounds checks removable:      %d of %d (%.0f%%)\n", boundsRm, boundsTotal, pct(boundsRm, boundsTotal))
+	fmt.Fprintf(w, "  store/load pairs proven disjoint:   %d of %d (%.0f%%)\n", aliasDis, aliasTotal, pct(aliasDis, aliasTotal))
+	fmt.Fprintf(w, "  layout fallthrough ratio:           %.2f -> %.2f (predicted-frequency chains)\n",
+		fallBefore/float64(nProgs), fallAfter/float64(nProgs))
+	fmt.Fprintf(w, "  VRP-as-optimizer:                   %d of %d instructions removed (%.0f%%), %d branches folded\n",
+		optRemoved, optTotal, pct(optRemoved, optTotal), optFolded)
+	fmt.Fprintln(w)
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

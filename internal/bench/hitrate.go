@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vrp/internal/corpus"
+)
+
+// The taken/not-taken hit rate is the metric of the branch-prediction
+// studies the paper positions itself against (Smith 81, Ball–Larus 93,
+// Fisher–Freudenberger 92): predict the likelier direction of each branch
+// and count the fraction of *dynamic* executions that went that way. The
+// paper argues probabilities are strictly more informative; this table
+// shows the coarse metric agrees with the fine one on ordering.
+
+// HitRates computes the dynamic taken/not-taken hit rate per predictor
+// over a set of evaluated programs (program-equal weighting).
+func HitRates(evals []*ProgramEval) map[string]float64 {
+	out := map[string]float64{}
+	for _, pred := range Predictors() {
+		sum, n := 0.0, 0
+		for _, ev := range evals {
+			var hits, total float64
+			for _, rec := range ev.Records {
+				if rec.Weight <= 0 {
+					continue
+				}
+				// Predicting the likelier direction: if p >= 0.5 predict
+				// taken; the hit fraction is then `actual`, else 1-actual.
+				p := rec.Pred[pred]
+				frac := rec.Actual
+				if p < 0.5 {
+					frac = 1 - rec.Actual
+				}
+				hits += rec.Weight * frac
+				total += rec.Weight
+			}
+			if total > 0 {
+				sum += hits / total
+				n++
+			}
+		}
+		if n > 0 {
+			out[pred] = 100 * sum / float64(n)
+		}
+	}
+	return out
+}
+
+// PrintHitRates renders the taken/not-taken comparison for both suites.
+func PrintHitRates(w io.Writer) error {
+	fmt.Fprintln(w, "Taken/not-taken dynamic hit rates (the coarse metric of prior studies):")
+	for _, s := range []corpus.Suite{corpus.IntSuite, corpus.FPSuite} {
+		evals, err := EvalSuite(s)
+		if err != nil {
+			return err
+		}
+		hr := HitRates(evals)
+		fmt.Fprintf(w, "  suite %-4s", s.String())
+		for _, pred := range Predictors() {
+			fmt.Fprintf(w, "  %s=%.1f%%", pred, hr[pred])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

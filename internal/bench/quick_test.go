@@ -1,0 +1,14 @@
+package bench_test
+
+import (
+	"os"
+	"testing"
+
+	"vrp/internal/bench"
+)
+
+func TestQuickSummary(t *testing.T) {
+	if err := bench.PrintSummary(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package corpus holds the benchmark programs standing in for SPECint92 /
+// SPECfp92 in the paper's evaluation (§5), plus their train and reference
+// input sets.
+//
+// SPEC92 sources and inputs are unobtainable, so the corpus mirrors the
+// structural property the paper's analysis leans on:
+//
+//   - the int suite is data- and branch-heavy: sorting, searching,
+//     compression-like scanning, backtracking, an opcode interpreter —
+//     many branches controlled by loads and inputs (⊥ ranges, heuristic
+//     fallback territory), moderate loop nests;
+//   - the fp suite is loop-dominated numeric kernels: matrix and stencil
+//     arithmetic whose branch population is almost entirely loop control —
+//     the territory where value range propagation shines.
+//
+// Each program is paired with two deterministic input streams: a short
+// train input (the paper's input.short, used to collect execution
+// profiles) and a longer, differently-distributed ref input (input.ref,
+// the behaviour every predictor is scored against).
+package corpus
+
+import "sort"
+
+// Suite selects a benchmark group.
+type Suite int
+
+// The benchmark suites.
+const (
+	IntSuite Suite = iota
+	FPSuite
+)
+
+func (s Suite) String() string {
+	if s == IntSuite {
+		return "int"
+	}
+	return "fp"
+}
+
+// Program is one benchmark with its inputs.
+type Program struct {
+	Name   string
+	Suite  Suite
+	Desc   string
+	Source string
+
+	Train []int64 // profiling input (input.short analogue)
+	Ref   []int64 // reference input (input.ref analogue)
+}
+
+var registry []*Program
+
+func register(p *Program) { registry = append(registry, p) }
+
+// All returns every corpus program, name-sorted.
+func All() []*Program {
+	out := append([]*Program(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BySuite returns the programs of one suite, name-sorted.
+func BySuite(s Suite) []*Program {
+	var out []*Program
+	for _, p := range All() {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByName returns a program or nil.
+func ByName(name string) *Program {
+	for _, p := range registry {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- inputs
+
+// rng is a deterministic xorshift64* generator so inputs are reproducible
+// without any external data.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// stream produces k values in [0, hi) from the seed.
+func stream(seed uint64, k int, hi int64) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = r.intn(hi)
+	}
+	return out
+}
+
+// skewedStream produces values mostly small with occasional spikes — a
+// different distribution for ref inputs, so profiles collected on train
+// inputs are (realistically) imperfect.
+func skewedStream(seed uint64, k int, hi int64) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, k)
+	for i := range out {
+		if r.intn(8) == 0 {
+			out[i] = hi - 1 - r.intn(hi/4+1)
+		} else {
+			out[i] = r.intn(hi / 4)
+		}
+	}
+	return out
+}
+
+// withHeader prepends fixed header values (sizes, iteration counts) to a
+// generated stream.
+func withHeader(header []int64, rest []int64) []int64 {
+	return append(append([]int64(nil), header...), rest...)
+}

@@ -1,0 +1,98 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"vrp"
+	"vrp/internal/corpus"
+	"vrp/internal/interp"
+)
+
+// TestCorpusCompilesAndRuns guards every benchmark: it must compile, run
+// on both input sets within budget, and actually exercise branches.
+func TestCorpusCompilesAndRuns(t *testing.T) {
+	progs := corpus.All()
+	if len(progs) < 25 {
+		t.Fatalf("corpus has only %d programs; expected at least 25", len(progs))
+	}
+	for _, cp := range progs {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			p, err := vrp.Compile(cp.Name+".mini", cp.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, in := range []struct {
+				name  string
+				input []int64
+			}{{"train", cp.Train}, {"ref", cp.Ref}} {
+				prof, err := p.RunWith(in.input, interp.Options{MaxSteps: 50_000_000})
+				if err != nil {
+					t.Fatalf("%s run: %v", in.name, err)
+				}
+				if len(prof.Output) == 0 {
+					t.Errorf("%s run produced no output", in.name)
+				}
+				branches := 0
+				for _, f := range p.IR.Funcs {
+					ec := prof.EdgeCount[f]
+					for _, b := range f.Blocks {
+						if tm := b.Terminator(); tm != nil && tm.Op.String() == "br" {
+							if ec[b.Succs[0].ID]+ec[b.Succs[1].ID] > 0 {
+								branches++
+							}
+						}
+					}
+				}
+				if branches == 0 {
+					t.Errorf("%s run executed no conditional branches", in.name)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusAnalyzes guards that VRP runs to fixed point on every program.
+func TestCorpusAnalyzes(t *testing.T) {
+	for _, cp := range corpus.All() {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			p, err := vrp.Compile(cp.Name+".mini", cp.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			a, err := p.Analyze()
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			preds := a.Predictions()
+			if len(preds) == 0 {
+				t.Fatal("no branch predictions")
+			}
+			for _, pr := range preds {
+				if pr.Prob < 0 || pr.Prob > 1 {
+					t.Errorf("branch in %s: probability %f out of range", pr.Func, pr.Prob)
+				}
+			}
+		})
+	}
+}
+
+// TestTrainRefDiffer ensures the two input regimes genuinely differ, so
+// profile-based prediction is not artificially perfect.
+func TestTrainRefDiffer(t *testing.T) {
+	for _, cp := range corpus.All() {
+		if len(cp.Train) == len(cp.Ref) {
+			same := true
+			for i := range cp.Train {
+				if cp.Train[i] != cp.Ref[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: train and ref inputs are identical", cp.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package corpus
+
+// The fp suite: loop-dominated numeric kernels in the style of SPECfp92.
+// Mini is integer-typed, so these are fixed-point analogues of the classic
+// kernels; what matters for the experiment is their branch structure —
+// almost every branch is loop control with analysable bounds, the regime
+// where the paper reports VRP predicting nearly everything from ranges.
+
+func init() {
+	register(&Program{
+		Name:  "matmul",
+		Suite: FPSuite,
+		Desc:  "dense matrix multiply (triple nest)",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 24) { n = 24; }
+	var a[576];
+	var b[576];
+	var c[576];
+	for (var i = 0; i < n * n; i++) {
+		a[i] = input() % 100;
+		b[i] = input() % 100;
+	}
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < n; j++) {
+			var sum = 0;
+			for (var k = 0; k < n; k++) {
+				sum = sum + a[i * n + k] * b[k * n + j];
+			}
+			c[i * n + j] = sum;
+		}
+	}
+	var trace = 0;
+	for (var i = 0; i < n; i++) { trace = trace + c[i * n + i]; }
+	print(trace);
+}
+`,
+		Train: withHeader([]int64{8}, stream(301, 128, 100)),
+		Ref:   withHeader([]int64{20}, skewedStream(401, 800, 100)),
+	})
+
+	register(&Program{
+		Name:  "stencil1d",
+		Suite: FPSuite,
+		Desc:  "iterated 3-point smoothing stencil",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 400) { n = 400; }
+	var iters = 25; // fixed sweep count
+	var a[400];
+	var b[400];
+	for (var i = 0; i < n; i++) { a[i] = input() % 1000; }
+	for (var t = 0; t < iters; t++) {
+		for (var i = 1; i < n - 1; i++) {
+			b[i] = (a[i - 1] + 2 * a[i] + a[i + 1]) / 4;
+		}
+		for (var i = 1; i < n - 1; i++) { a[i] = b[i]; }
+	}
+	var sum = 0;
+	for (var i = 0; i < n; i++) { sum = sum + a[i]; }
+	print(sum);
+}
+`,
+		Train: withHeader([]int64{40}, stream(302, 40, 1000)),
+		Ref:   withHeader([]int64{320}, skewedStream(402, 320, 1000)),
+	})
+
+	register(&Program{
+		Name:  "dotprod",
+		Suite: FPSuite,
+		Desc:  "blocked dot products",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 512) { n = 512; }
+	var x[512];
+	var y[512];
+	for (var i = 0; i < n; i++) {
+		x[i] = input() % 50;
+		y[i] = input() % 50;
+	}
+	var rounds = input();
+	if (rounds < 1) { rounds = 1; }
+	if (rounds > 50) { rounds = 50; }
+	var acc = 0;
+	for (var r = 0; r < rounds; r++) {
+		var dot = 0;
+		for (var i = 0; i < n; i++) { dot = dot + x[i] * y[i]; }
+		acc = (acc + dot) % 1000000007;
+	}
+	print(acc);
+}
+`,
+		Train: withHeader([]int64{64}, append(stream(303, 128, 50), 10)),
+		Ref:   withHeader([]int64{480}, append(skewedStream(403, 960, 50), 40)),
+	})
+
+	register(&Program{
+		Name:  "triad",
+		Suite: FPSuite,
+		Desc:  "STREAM-style scaled vector add",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 16) { n = 16; }
+	if (n > 512) { n = 512; }
+	var q = input() % 9 + 1;
+	var a[512];
+	var b[512];
+	var c[512];
+	for (var i = 0; i < n; i++) {
+		b[i] = input() % 100;
+		c[i] = input() % 100;
+	}
+	var reps = input();
+	if (reps < 1) { reps = 1; }
+	if (reps > 30) { reps = 30; }
+	for (var r = 0; r < reps; r++) {
+		for (var i = 0; i < n; i++) {
+			a[i] = b[i] + q * c[i];
+		}
+		var t = b[0];
+		for (var i = 0; i < n - 1; i++) { b[i] = b[i + 1]; }
+		b[n - 1] = t;
+	}
+	var sum = 0;
+	for (var i = 0; i < n; i++) { sum = sum + a[i]; }
+	print(sum);
+}
+`,
+		Train: withHeader([]int64{48, 3}, append(stream(304, 96, 100), 8)),
+		Ref:   withHeader([]int64{448, 6}, append(skewedStream(404, 896, 100), 25)),
+	})
+
+	register(&Program{
+		Name:  "matvec",
+		Suite: FPSuite,
+		Desc:  "matrix-vector products with running normalisation",
+		Source: `
+func main() {
+	var n = 32; // fixed system size
+	var m[1024];
+	var v[32];
+	var w[32];
+	for (var i = 0; i < n * n; i++) { m[i] = input() % 20; }
+	for (var i = 0; i < n; i++) { v[i] = input() % 20 + 1; }
+	var iters = input();
+	if (iters < 1) { iters = 1; }
+	if (iters > 20) { iters = 20; }
+	for (var t = 0; t < iters; t++) {
+		for (var i = 0; i < n; i++) {
+			var s = 0;
+			for (var j = 0; j < n; j++) { s = s + m[i * n + j] * v[j]; }
+			w[i] = s;
+		}
+		var mx = 1;
+		for (var i = 0; i < n; i++) { if (w[i] > mx) { mx = w[i]; } }
+		for (var i = 0; i < n; i++) { v[i] = w[i] * 16 / mx + 1; }
+	}
+	var sum = 0;
+	for (var i = 0; i < n; i++) { sum = sum + v[i]; }
+	print(sum);
+}
+`,
+		Train: append(stream(305, 1056, 20), 6),
+		Ref:   append(skewedStream(405, 1056, 20), 16),
+	})
+
+	register(&Program{
+		Name:  "gauss",
+		Suite: FPSuite,
+		Desc:  "fixed-point Gaussian elimination (triangular loop nest)",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 3) { n = 3; }
+	if (n > 28) { n = 28; }
+	var a[812];
+	for (var i = 0; i < n * (n + 1); i++) { a[i] = input() % 19 - 9; }
+	var w = n + 1;
+	var rank = 0;
+	for (var col = 0; col < n; col++) {
+		// Find a pivot.
+		var pivot = -1;
+		for (var r = rank; r < n; r++) {
+			if (a[r * w + col] != 0) { pivot = r; break; }
+		}
+		if (pivot >= 0) {
+			// Swap rows pivot and rank.
+			if (pivot != rank) {
+				for (var c = 0; c < w; c++) {
+					var t = a[pivot * w + c];
+					a[pivot * w + c] = a[rank * w + c];
+					a[rank * w + c] = t;
+				}
+			}
+			// Eliminate below (fixed-point scaling).
+			for (var r = rank + 1; r < n; r++) {
+				var num = a[r * w + col];
+				var den = a[rank * w + col];
+				for (var c = col; c < w; c++) {
+					a[r * w + c] = a[r * w + c] * den - a[rank * w + c] * num;
+					a[r * w + c] = a[r * w + c] % 100003;
+				}
+			}
+			rank++;
+		}
+	}
+	print(rank);
+}
+`,
+		Train: withHeader([]int64{8}, stream(306, 72, 19)),
+		Ref:   withHeader([]int64{24}, skewedStream(406, 600, 19)),
+	})
+
+	register(&Program{
+		Name:  "transpose",
+		Suite: FPSuite,
+		Desc:  "blocked in-place square transpose",
+		Source: `
+func main() {
+	var n = 32;  // fixed matrix edge
+	var a[1024];
+	for (var i = 0; i < n * n; i++) { a[i] = input() % 256; }
+	var reps = 10;
+	for (var r = 0; r < reps; r++) {
+		for (var i = 0; i < n; i++) {
+			for (var j = i + 1; j < n; j++) {
+				var t = a[i * n + j];
+				a[i * n + j] = a[j * n + i];
+				a[j * n + i] = t;
+			}
+		}
+	}
+	var diag = 0;
+	for (var i = 0; i < n; i++) { diag = diag + a[i * n + i]; }
+	print(diag);
+}
+`,
+		Train: stream(307, 1024, 256),
+		Ref:   skewedStream(407, 1024, 256),
+	})
+
+	register(&Program{
+		Name:  "conv",
+		Suite: FPSuite,
+		Desc:  "1-D convolution with a fixed 5-tap kernel",
+		Source: `
+func main() {
+	var n = 320; // fixed signal length (compile-time constant, Fortran-style)
+	var x[320];
+	var y[320];
+	var k[5];
+	k[0] = 1; k[1] = 4; k[2] = 6; k[3] = 4; k[4] = 1;
+	for (var i = 0; i < n; i++) { x[i] = input() % 200; }
+	for (var i = 2; i < n - 2; i++) {
+		var s = 0;
+		for (var t = 0; t < 5; t++) {
+			s = s + k[t] * x[i + t - 2];
+		}
+		y[i] = s / 16;
+	}
+	var sum = 0;
+	for (var i = 0; i < n; i++) { sum = sum + y[i]; }
+	print(sum);
+}
+`,
+		Train: stream(308, 320, 200),
+		Ref:   skewedStream(408, 320, 200),
+	})
+
+	register(&Program{
+		Name:  "prefix",
+		Suite: FPSuite,
+		Desc:  "prefix sums and windowed averages",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 500) { n = 500; }
+	var a[500];
+	var p[501];
+	for (var i = 0; i < n; i++) { a[i] = input() % 1000; }
+	p[0] = 0;
+	for (var i = 0; i < n; i++) { p[i + 1] = p[i] + a[i]; }
+	var win = input() % 16 + 1;
+	var best = 0;
+	for (var i = 0; i + win <= n; i++) {
+		var s = p[i + win] - p[i];
+		if (s > best) { best = s; }
+	}
+	print(best);
+	print(p[n]);
+}
+`,
+		Train: withHeader([]int64{56}, append(stream(309, 56, 1000), 7)),
+		Ref:   withHeader([]int64{460}, append(skewedStream(409, 460, 1000), 12)),
+	})
+
+	register(&Program{
+		Name:  "horner",
+		Suite: FPSuite,
+		Desc:  "polynomial evaluation at many points (Horner's rule)",
+		Source: `
+func main() {
+	var deg = 16; // fixed polynomial degree
+	var coef[25];
+	for (var i = 0; i <= deg; i++) { coef[i] = input() % 9 - 4; }
+	var pts = input();
+	if (pts < 4) { pts = 4; }
+	if (pts > 300) { pts = 300; }
+	var acc = 0;
+	for (var p = 0; p < pts; p++) {
+		var x = input() % 7 - 3;
+		var v = coef[deg];
+		for (var i = deg - 1; i >= 0; i--) {
+			v = v * x + coef[i];
+			v = v % 1000003;
+		}
+		acc = (acc + v) % 1000003;
+	}
+	print(acc);
+}
+`,
+		Train: append(stream(310, 17, 9), withHeader([]int64{40}, stream(311, 40, 7))...),
+		Ref:   append(stream(410, 17, 9), withHeader([]int64{260}, skewedStream(411, 260, 7))...),
+	})
+
+	register(&Program{
+		Name:  "fftstride",
+		Suite: FPSuite,
+		Desc:  "butterfly-style strided passes (geometric loop bounds)",
+		Source: `
+func main() {
+	var logn = input() % 6 + 3;
+	var n = 1;
+	for (var i = 0; i < logn; i++) { n = n * 2; }
+	var a[512];
+	for (var i = 0; i < n; i++) { a[i] = input() % 100; }
+	for (var s = 1; s < n; s = s * 2) {
+		for (var i = 0; i < n; i += 2 * s) {
+			for (var j = i; j < i + s; j++) {
+				var u = a[j];
+				var v = a[j + s];
+				a[j] = (u + v) % 65536;
+				a[j + s] = (u - v) % 65536;
+			}
+		}
+	}
+	print(a[0]);
+	print(a[n - 1]);
+}
+`,
+		Train: withHeader([]int64{2}, stream(312, 32, 100)),        // logn=5, n=32
+		Ref:   withHeader([]int64{5}, skewedStream(412, 256, 100)), // logn=8→256
+	})
+
+	register(&Program{
+		Name:  "jacobi2d",
+		Suite: FPSuite,
+		Desc:  "2-D Jacobi relaxation sweeps",
+		Source: `
+func main() {
+	var n = 24;   // fixed grid edge
+	var iters = 12;
+	var g[900];
+	var h[900];
+	for (var i = 0; i < n * n; i++) { g[i] = input() % 500; }
+	for (var t = 0; t < iters; t++) {
+		for (var i = 1; i < n - 1; i++) {
+			for (var j = 1; j < n - 1; j++) {
+				h[i * n + j] = (g[(i - 1) * n + j] + g[(i + 1) * n + j]
+					+ g[i * n + j - 1] + g[i * n + j + 1]) / 4;
+			}
+		}
+		for (var i = 1; i < n - 1; i++) {
+			for (var j = 1; j < n - 1; j++) {
+				g[i * n + j] = h[i * n + j];
+			}
+		}
+	}
+	var sum = 0;
+	for (var i = 0; i < n * n; i++) { sum = sum + g[i]; }
+	print(sum);
+}
+`,
+		Train: stream(313, 576, 500),
+		Ref:   skewedStream(413, 576, 500),
+	})
+
+	register(&Program{
+		Name:  "norms",
+		Suite: FPSuite,
+		Desc:  "vector norms with an integer square root",
+		Source: `
+func isqrt(x) {
+	if (x < 0) { return 0; }
+	var r = 0;
+	while ((r + 1) * (r + 1) <= x) { r++; }
+	return r;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 400) { n = 400; }
+	var a[400];
+	for (var i = 0; i < n; i++) { a[i] = input() % 60 - 30; }
+	var sumsq = 0;
+	var sumabs = 0;
+	var maxabs = 0;
+	for (var i = 0; i < n; i++) {
+		var v = a[i];
+		if (v < 0) { v = -v; }
+		sumabs = sumabs + v;
+		sumsq = sumsq + v * v;
+		if (v > maxabs) { maxabs = v; }
+	}
+	print(isqrt(sumsq));
+	print(sumabs);
+	print(maxabs);
+}
+`,
+		Train: withHeader([]int64{48}, stream(314, 48, 60)),
+		Ref:   withHeader([]int64{380}, skewedStream(414, 380, 60)),
+	})
+}
+
+// interprocedural fp addition: a fixed-point kernel helper whose scale
+// parameter is a call-site constant.
+func init() {
+	register(&Program{
+		Name:  "fixmul",
+		Suite: FPSuite,
+		Desc:  "fixed-point multiply-accumulate via a constant-shift helper",
+		Source: `
+func fxmul(a, b, shift) {
+	var p = a * b;
+	var d = 1;
+	for (var i = 0; i < shift; i++) { d = d * 2; }
+	return p / d;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 256) { n = 256; }
+	var x[256];
+	var w[256];
+	for (var i = 0; i < n; i++) {
+		x[i] = input() % 4096;
+		w[i] = input() % 4096;
+	}
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		acc = acc + fxmul(x[i], w[i], 12);
+	}
+	print(acc);
+}
+`,
+		Train: withHeader([]int64{32}, stream(315, 64, 4096)),
+		Ref:   withHeader([]int64{224}, skewedStream(415, 448, 4096)),
+	})
+}

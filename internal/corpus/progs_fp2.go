@@ -1,0 +1,153 @@
+package corpus
+
+// Second tranche of fp-suite programs: fixed-point analogues of classic
+// numeric kernels with data-dependent convergence loops (Mandelbrot,
+// Newton iteration, Simpson integration, Chebyshev recurrences).
+
+func init() {
+	register(&Program{
+		Name:  "mandel",
+		Suite: FPSuite,
+		Desc:  "fixed-point Mandelbrot escape iterations over a grid",
+		Source: `
+func main() {
+	var w = 24; // fixed raster (Fortran-style constants)
+	var h = 16;
+	var scale = 1024;
+	var maxIter = 32;
+	var inside = 0;
+	var total = 0;
+	for (var py = 0; py < h; py++) {
+		for (var px = 0; px < w; px++) {
+			// c spans roughly [-2, 0.7] x [-1.2, 1.2], in 1/1024 units.
+			var cr = px * 2760 / w - 2048;
+			var ci = py * 2458 / h - 1229;
+			var zr = 0;
+			var zi = 0;
+			var it = 0;
+			var escaped = 0;
+			while (it < maxIter && escaped == 0) {
+				var zr2 = zr * zr / scale;
+				var zi2 = zi * zi / scale;
+				if (zr2 + zi2 > 4 * scale) {
+					escaped = 1;
+				} else {
+					var nzr = zr2 - zi2 + cr;
+					zi = 2 * zr * zi / scale + ci;
+					zr = nzr;
+					it++;
+				}
+			}
+			total = total + it;
+			if (escaped == 0) { inside++; }
+		}
+	}
+	print(inside);
+	print(total);
+}
+`,
+		Train: nil,
+		Ref:   []int64{1}, // same raster; inputs unused (train==ref differs by length only)
+	})
+
+	register(&Program{
+		Name:  "newton",
+		Suite: FPSuite,
+		Desc:  "integer Newton square roots with convergence loops",
+		Source: `
+func isqrtNewton(x) {
+	if (x < 2) { return x; }
+	var r = x;
+	var prev = 0;
+	var guard = 0;
+	while (r != prev && guard < 64) {
+		prev = r;
+		r = (r + x / r) / 2;
+		guard++;
+	}
+	return r;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 300) { n = 300; }
+	var acc = 0;
+	var exact = 0;
+	for (var i = 0; i < n; i++) {
+		var x = input() + 1;
+		var r = isqrtNewton(x);
+		acc = acc + r;
+		if (r * r == x) { exact++; }
+	}
+	print(acc);
+	print(exact);
+}
+`,
+		Train: withHeader([]int64{24}, stream(316, 24, 10000)),
+		Ref:   withHeader([]int64{260}, skewedStream(416, 260, 1000000)),
+	})
+
+	register(&Program{
+		Name:  "simpson",
+		Suite: FPSuite,
+		Desc:  "fixed-point Simpson integration of a cubic",
+		Source: `
+func f(x) {
+	// f(x) = x^3 - 2x^2 + 3x - 5, in 1/256 fixed point.
+	return ((x * x / 256) * x / 256) - 2 * (x * x / 256) + 3 * x - 5 * 256;
+}
+
+func main() {
+	var steps = 128; // fixed even step count
+	var a = 0;
+	var b = 4 * 256;
+	var hstep = (b - a) / steps;
+	var sum = f(a) + f(b);
+	for (var i = 1; i < steps; i++) {
+		var x = a + i * hstep;
+		if (i % 2 == 1) { sum = sum + 4 * f(x); }
+		else { sum = sum + 2 * f(x); }
+	}
+	var integral = sum * hstep / 3 / 256;
+	print(integral);
+}
+`,
+		Train: nil,
+		Ref:   []int64{1},
+	})
+
+	register(&Program{
+		Name:  "cheby",
+		Suite: FPSuite,
+		Desc:  "Chebyshev polynomial recurrence at many points",
+		Source: `
+func main() {
+	var deg = 20; // fixed degree
+	var pts = input();
+	if (pts < 8) { pts = 8; }
+	if (pts > 400) { pts = 400; }
+	var scale = 1024;
+	var acc = 0;
+	for (var p = 0; p < pts; p++) {
+		var x = input() % (2 * scale + 1) - scale; // [-1, 1] fixed point
+		var t0 = scale;
+		var t1 = x;
+		for (var k = 2; k <= deg; k++) {
+			var t2 = 2 * x * t1 / scale - t0;
+			t0 = t1;
+			t1 = t2;
+		}
+		acc = (acc + t1) % 1000003;
+		if (t1 > scale || t1 < -scale) {
+			// Outside [-1,1]: numerical drift from fixed-point rounding.
+			acc = (acc + 1) % 1000003;
+		}
+	}
+	print(acc);
+}
+`,
+		Train: withHeader([]int64{32}, stream(317, 32, 2049)),
+		Ref:   withHeader([]int64{360}, skewedStream(417, 360, 2049)),
+	})
+}

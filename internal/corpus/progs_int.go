@@ -1,0 +1,657 @@
+package corpus
+
+// The int suite: data- and branch-heavy programs in the style of
+// SPECint92 — sorting, searching, scanning, backtracking, interpretation.
+// Branches here frequently depend on loads and inputs, so a large share of
+// predictions must come from the heuristic fallback, exactly as the paper
+// reports for integer codes.
+
+func init() {
+	register(&Program{
+		Name:  "bubblesort",
+		Suite: IntSuite,
+		Desc:  "bubble sort with early exit on a sorted pass",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 200) { n = 200; }
+	var a[200];
+	for (var i = 0; i < n; i++) { a[i] = input(); }
+	var sorted = 0;
+	var pass = 0;
+	while (sorted == 0) {
+		sorted = 1;
+		for (var i = 0; i < n - 1 - pass; i++) {
+			if (a[i] > a[i + 1]) {
+				var t = a[i];
+				a[i] = a[i + 1];
+				a[i + 1] = t;
+				sorted = 0;
+			}
+		}
+		pass++;
+		if (pass >= n) { sorted = 1; }
+	}
+	var check = 0;
+	for (var i = 0; i < n; i++) { check = check + a[i]; }
+	print(check);
+}
+`,
+		Train: withHeader([]int64{24}, stream(101, 24, 1000)),
+		Ref:   withHeader([]int64{160}, skewedStream(201, 160, 1000)),
+	})
+
+	register(&Program{
+		Name:  "binsearch",
+		Suite: IntSuite,
+		Desc:  "repeated binary searches over a sorted table",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 256) { n = 256; }
+	var a[256];
+	// Build a sorted table with input-dependent gaps.
+	var v = 0;
+	for (var i = 0; i < n; i++) {
+		v = v + 1 + input() % 7;
+		a[i] = v;
+	}
+	var queries = input();
+	if (queries < 1) { queries = 1; }
+	if (queries > 400) { queries = 400; }
+	var hits = 0;
+	for (var q = 0; q < queries; q++) {
+		var key = input() % (v + 1);
+		var lo = 0;
+		var hi = n - 1;
+		var found = 0;
+		while (lo <= hi) {
+			var mid = (lo + hi) / 2;
+			if (a[mid] == key) { found = 1; break; }
+			if (a[mid] < key) { lo = mid + 1; }
+			else { hi = mid - 1; }
+		}
+		hits = hits + found;
+	}
+	print(hits);
+}
+`,
+		Train: withHeader([]int64{32}, append(stream(103, 32, 8), withHeader([]int64{60}, stream(104, 60, 400))...)),
+		Ref:   withHeader([]int64{200}, append(stream(203, 200, 8), withHeader([]int64{300}, skewedStream(204, 300, 1600))...)),
+	})
+
+	register(&Program{
+		Name:  "sieve",
+		Suite: IntSuite,
+		Desc:  "sieve of Eratosthenes plus prime counting",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 16) { n = 16; }
+	if (n > 2000) { n = 2000; }
+	var composite[2001];
+	var count = 0;
+	for (var i = 2; i <= n; i++) {
+		if (composite[i] == 0) {
+			count++;
+			for (var j = i + i; j <= n; j += i) {
+				composite[j] = 1;
+			}
+		}
+	}
+	print(count);
+}
+`,
+		Train: []int64{120},
+		Ref:   []int64{1800},
+	})
+
+	register(&Program{
+		Name:  "gcdchain",
+		Suite: IntSuite,
+		Desc:  "Euclid's algorithm over many input pairs",
+		Source: `
+func gcd(a, b) {
+	if (a < 0) { a = -a; }
+	if (b < 0) { b = -b; }
+	while (b != 0) {
+		var t = a % b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+
+func main() {
+	var pairs = input();
+	if (pairs < 4) { pairs = 4; }
+	if (pairs > 300) { pairs = 300; }
+	var acc = 0;
+	for (var i = 0; i < pairs; i++) {
+		var x = input() + 1;
+		var y = input() + 1;
+		acc = acc + gcd(x, y);
+	}
+	print(acc);
+}
+`,
+		Train: withHeader([]int64{20}, stream(105, 40, 500)),
+		Ref:   withHeader([]int64{220}, skewedStream(205, 440, 5000)),
+	})
+
+	register(&Program{
+		Name:  "histogram",
+		Suite: IntSuite,
+		Desc:  "bucketed counting with range clamping",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 500) { n = 500; }
+	var buckets[16];
+	for (var i = 0; i < n; i++) {
+		var v = input();
+		var b = v / 64;
+		if (b < 0) { b = 0; }
+		if (b > 15) { b = 15; }
+		buckets[b]++;
+	}
+	var maxCount = 0;
+	var maxBucket = 0;
+	for (var b = 0; b < 16; b++) {
+		if (buckets[b] > maxCount) {
+			maxCount = buckets[b];
+			maxBucket = b;
+		}
+	}
+	print(maxBucket);
+	print(maxCount);
+}
+`,
+		Train: withHeader([]int64{48}, stream(106, 48, 1024)),
+		Ref:   withHeader([]int64{400}, skewedStream(206, 400, 1024)),
+	})
+
+	register(&Program{
+		Name:  "rle",
+		Suite: IntSuite,
+		Desc:  "run-length encoding of a noisy input stream",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 600) { n = 600; }
+	var prev = input() % 4;
+	var runlen = 1;
+	var runs = 0;
+	var longest = 1;
+	for (var i = 1; i < n; i++) {
+		var v = input() % 4;
+		if (v == prev) {
+			runlen++;
+			if (runlen > longest) { longest = runlen; }
+		} else {
+			runs++;
+			runlen = 1;
+			prev = v;
+		}
+	}
+	runs++;
+	print(runs);
+	print(longest);
+}
+`,
+		Train: withHeader([]int64{64}, stream(107, 64, 4)),
+		Ref:   withHeader([]int64{512}, skewedStream(207, 512, 4)),
+	})
+
+	register(&Program{
+		Name:  "collatz",
+		Suite: IntSuite,
+		Desc:  "Collatz trajectory lengths (data-dependent while loops)",
+		Source: `
+func steps(x) {
+	var c = 0;
+	while (x != 1 && c < 500) {
+		if (x % 2 == 0) { x = x / 2; }
+		else { x = 3 * x + 1; }
+		c++;
+	}
+	return c;
+}
+
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 200) { n = 200; }
+	var total = 0;
+	var best = 0;
+	for (var i = 0; i < n; i++) {
+		var s = steps(input() + 2);
+		total = total + s;
+		if (s > best) { best = s; }
+	}
+	print(total);
+	print(best);
+}
+`,
+		Train: withHeader([]int64{16}, stream(108, 16, 400)),
+		Ref:   withHeader([]int64{150}, skewedStream(208, 150, 4000)),
+	})
+
+	register(&Program{
+		Name:  "kadane",
+		Suite: IntSuite,
+		Desc:  "maximum subarray sum over signed data",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 400) { n = 400; }
+	var a[400];
+	for (var i = 0; i < n; i++) { a[i] = input() - 100; }
+	var best = a[0];
+	var cur = a[0];
+	for (var i = 1; i < n; i++) {
+		if (cur < 0) { cur = a[i]; }
+		else { cur = cur + a[i]; }
+		if (cur > best) { best = cur; }
+	}
+	print(best);
+}
+`,
+		Train: withHeader([]int64{32}, stream(109, 32, 220)),
+		Ref:   withHeader([]int64{350}, skewedStream(209, 350, 220)),
+	})
+
+	register(&Program{
+		Name:  "queens",
+		Suite: IntSuite,
+		Desc:  "N-queens counting via iterative backtracking",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 9) { n = 9; }
+	var col[10];
+	var row = 0;
+	col[0] = -1;
+	var solutions = 0;
+	while (row >= 0) {
+		col[row]++;
+		if (col[row] >= n) {
+			row = row - 1;
+		} else {
+			var ok = 1;
+			for (var r = 0; r < row; r++) {
+				var d = col[row] - col[r];
+				if (d < 0) { d = -d; }
+				if (col[r] == col[row] || d == row - r) { ok = 0; break; }
+			}
+			if (ok == 1) {
+				if (row == n - 1) {
+					solutions++;
+				} else {
+					row = row + 1;
+					col[row] = -1;
+				}
+			}
+		}
+	}
+	print(solutions);
+}
+`,
+		Train: []int64{6},
+		Ref:   []int64{8},
+	})
+
+	register(&Program{
+		Name:  "fibmemo",
+		Suite: IntSuite,
+		Desc:  "memoised Fibonacci lookups mixed with recomputation",
+		Source: `
+func main() {
+	var memo[92];
+	memo[0] = 0;
+	memo[1] = 1;
+	var filled = 2;
+	var queries = input();
+	if (queries < 4) { queries = 4; }
+	if (queries > 300) { queries = 300; }
+	var acc = 0;
+	for (var q = 0; q < queries; q++) {
+		var k = input() % 90;
+		if (k < 0) { k = 0; }
+		while (filled <= k) {
+			memo[filled] = memo[filled - 1] + memo[filled - 2];
+			filled++;
+		}
+		acc = acc + memo[k] % 1000;
+	}
+	print(acc);
+}
+`,
+		Train: withHeader([]int64{24}, stream(110, 24, 40)),
+		Ref:   withHeader([]int64{250}, skewedStream(210, 250, 90)),
+	})
+
+	register(&Program{
+		Name:  "dedup",
+		Suite: IntSuite,
+		Desc:  "nested-loop distinct-element counting",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 220) { n = 220; }
+	var a[220];
+	for (var i = 0; i < n; i++) { a[i] = input() % 50; }
+	var distinct = 0;
+	for (var i = 0; i < n; i++) {
+		var seen = 0;
+		for (var j = 0; j < i; j++) {
+			if (a[j] == a[i]) { seen = 1; break; }
+		}
+		if (seen == 0) { distinct++; }
+	}
+	print(distinct);
+}
+`,
+		Train: withHeader([]int64{30}, stream(111, 30, 50)),
+		Ref:   withHeader([]int64{200}, skewedStream(211, 200, 50)),
+	})
+
+	register(&Program{
+		Name:  "calcvm",
+		Suite: IntSuite,
+		Desc:  "tiny stack-machine interpreter over input opcodes",
+		Source: `
+func main() {
+	var ops = input();
+	if (ops < 8) { ops = 8; }
+	if (ops > 500) { ops = 500; }
+	var stack[64];
+	var sp = 0;
+	var acc = 0;
+	for (var i = 0; i < ops; i++) {
+		var op = input() % 6;
+		if (op == 0) {
+			// push immediate
+			if (sp < 63) { stack[sp] = input() % 100; sp++; }
+		} else if (op == 1) {
+			// add
+			if (sp >= 2) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }
+		} else if (op == 2) {
+			// sub
+			if (sp >= 2) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }
+		} else if (op == 3) {
+			// mul (clamped)
+			if (sp >= 2) {
+				var m = stack[sp - 2] * stack[sp - 1];
+				if (m > 100000) { m = 100000; }
+				if (m < -100000) { m = -100000; }
+				stack[sp - 2] = m;
+				sp = sp - 1;
+			}
+		} else if (op == 4) {
+			// dup
+			if (sp >= 1 && sp < 63) { stack[sp] = stack[sp - 1]; sp++; }
+		} else {
+			// pop into accumulator
+			if (sp >= 1) { sp = sp - 1; acc = acc + stack[sp]; }
+		}
+	}
+	print(acc);
+	print(sp);
+}
+`,
+		Train: withHeader([]int64{60}, stream(112, 120, 100)),
+		Ref:   withHeader([]int64{420}, skewedStream(212, 840, 100)),
+	})
+
+	register(&Program{
+		Name:  "arraycmp",
+		Suite: IntSuite,
+		Desc:  "lexicographic comparison of many array pairs",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 128) { n = 128; }
+	var a[128];
+	var b[128];
+	var rounds = input();
+	if (rounds < 2) { rounds = 2; }
+	if (rounds > 60) { rounds = 60; }
+	var balance = 0;
+	for (var r = 0; r < rounds; r++) {
+		for (var i = 0; i < n; i++) {
+			a[i] = input() % 16;
+			b[i] = input() % 16;
+		}
+		var cmp = 0;
+		for (var i = 0; i < n; i++) {
+			if (a[i] < b[i]) { cmp = -1; break; }
+			if (a[i] > b[i]) { cmp = 1; break; }
+		}
+		balance = balance + cmp;
+	}
+	print(balance);
+}
+`,
+		Train: withHeader([]int64{16, 8}, stream(113, 300, 16)),
+		Ref:   withHeader([]int64{96, 40}, skewedStream(213, 8000, 16)),
+	})
+
+	register(&Program{
+		Name:  "hashprobe",
+		Suite: IntSuite,
+		Desc:  "open-addressing hash inserts with linear probing",
+		Source: `
+func main() {
+	var cap = 257;
+	var table[257];
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 200) { n = 200; }
+	var probes = 0;
+	var stored = 0;
+	for (var i = 0; i < n; i++) {
+		var key = input() + 1;
+		var h = key % cap;
+		var tries = 0;
+		while (tries < cap) {
+			probes++;
+			if (table[h] == 0) { table[h] = key; stored++; break; }
+			if (table[h] == key) { break; }
+			h = h + 1;
+			if (h >= cap) { h = 0; }
+			tries++;
+		}
+	}
+	print(stored);
+	print(probes);
+}
+`,
+		Train: withHeader([]int64{40}, stream(114, 40, 10000)),
+		Ref:   withHeader([]int64{190}, skewedStream(214, 190, 10000)),
+	})
+
+	register(&Program{
+		Name:  "tokenize",
+		Suite: IntSuite,
+		Desc:  "separator-driven token scanning (parser-like branching)",
+		Source: `
+func classify(c) {
+	// 0 = separator, 1 = digit, 2 = letter-ish
+	if (c < 10) { return 0; }
+	if (c < 40) { return 1; }
+	return 2;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 600) { n = 600; }
+	var tokens = 0;
+	var numbers = 0;
+	var inTok = 0;
+	var kind = 0;
+	for (var i = 0; i < n; i++) {
+		var c = input() % 100;
+		var k = classify(c);
+		if (k == 0) {
+			if (inTok == 1) {
+				tokens++;
+				if (kind == 1) { numbers++; }
+				inTok = 0;
+			}
+		} else {
+			if (inTok == 0) { inTok = 1; kind = k; }
+			else if (kind != k) { kind = 2; }
+		}
+	}
+	if (inTok == 1) { tokens++; if (kind == 1) { numbers++; } }
+	print(tokens);
+	print(numbers);
+}
+`,
+		Train: withHeader([]int64{80}, stream(115, 80, 100)),
+		Ref:   withHeader([]int64{520}, skewedStream(215, 520, 100)),
+	})
+
+	register(&Program{
+		Name:  "ackermann",
+		Suite: IntSuite,
+		Desc:  "bounded Ackermann recursion (call-heavy, branch-heavy)",
+		Source: `
+func ack(m, n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+
+func main() {
+	var m = input() % 3;
+	if (m < 0) { m = 0; }
+	var n = input() % 5;
+	if (n < 0) { n = 0; }
+	print(ack(m, n + 1));
+	print(ack(2, n));
+}
+`,
+		Train: []int64{2, 3},
+		Ref:   []int64{2, 4},
+	})
+}
+
+// interprocedural-heavy additions: helpers called with constant arguments,
+// so jump functions (§3.7) determine their parameter ranges.
+func init() {
+	register(&Program{
+		Name:  "bitcount",
+		Suite: IntSuite,
+		Desc:  "population counts through a helper with constant width",
+		Source: `
+func popcount(x, width) {
+	var c = 0;
+	for (var i = 0; i < width; i++) {
+		if (x % 2 != 0) { c++; }
+		x = x / 2;
+	}
+	return c;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 300) { n = 300; }
+	var total = 0;
+	var heavy = 0;
+	for (var i = 0; i < n; i++) {
+		var v = input();
+		var c = popcount(v, 16);
+		total = total + c;
+		if (c > 8) { heavy++; }
+	}
+	print(total);
+	print(heavy);
+}
+`,
+		Train: withHeader([]int64{24}, stream(116, 24, 65536)),
+		Ref:   withHeader([]int64{260}, skewedStream(216, 260, 65536)),
+	})
+
+	register(&Program{
+		Name:  "clip",
+		Suite: IntSuite,
+		Desc:  "saturating arithmetic through a shared clamp helper",
+		Source: `
+func clamp(x, lo, hi) {
+	if (x < lo) { return lo; }
+	if (x > hi) { return hi; }
+	return x;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 400) { n = 400; }
+	var acc = 0;
+	var sat = 0;
+	for (var i = 0; i < n; i++) {
+		var v = input() - 500;
+		var c = clamp(v, -100, 100);
+		if (c != v) { sat++; }
+		acc = acc + c;
+	}
+	print(acc);
+	print(sat);
+}
+`,
+		Train: withHeader([]int64{32}, stream(117, 32, 1000)),
+		Ref:   withHeader([]int64{350}, skewedStream(217, 350, 1000)),
+	})
+}
+
+// mixedpoly calls one helper from two very different constant contexts —
+// the paper's procedure-cloning scenario (§3.7): without cloning the
+// helper's loop bound merges both contexts; with cloning each copy gets
+// its exact trip count.
+func init() {
+	register(&Program{
+		Name:  "mixedpoly",
+		Suite: IntSuite,
+		Desc:  "polynomial evaluation helper shared by 2-term and 16-term callers",
+		Source: `
+func poly(x, deg) {
+	var v = 1;
+	for (var i = 0; i < deg; i++) {
+		v = (v * x + i) % 10007;
+	}
+	return v;
+}
+
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 300) { n = 300; }
+	var fast = 0;
+	var slow = 0;
+	for (var i = 0; i < n; i++) {
+		var x = input() % 100;
+		fast = (fast + poly(x, 2)) % 10007;
+		if (i % 4 == 0) {
+			slow = (slow + poly(x, 16)) % 10007;
+		}
+	}
+	print(fast);
+	print(slow);
+}
+`,
+		Train: withHeader([]int64{24}, stream(118, 24, 100)),
+		Ref:   withHeader([]int64{280}, skewedStream(218, 280, 100)),
+	})
+}

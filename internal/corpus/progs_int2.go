@@ -1,0 +1,243 @@
+package corpus
+
+// Second tranche of int-suite programs: string/search/DP/heap workloads in
+// the SPECint mould.
+
+func init() {
+	register(&Program{
+		Name:  "strsearch",
+		Suite: IntSuite,
+		Desc:  "naive substring search with early mismatch exits",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 16) { n = 16; }
+	if (n > 400) { n = 400; }
+	var text[400];
+	var pat[4];
+	for (var i = 0; i < n; i++) { text[i] = input() % 6; }
+	for (var i = 0; i < 4; i++) { pat[i] = input() % 6; }
+	var matches = 0;
+	var cmps = 0;
+	for (var i = 0; i + 4 <= n; i++) {
+		var ok = 1;
+		for (var j = 0; j < 4; j++) {
+			cmps++;
+			if (text[i + j] != pat[j]) { ok = 0; break; }
+		}
+		matches = matches + ok;
+	}
+	print(matches);
+	print(cmps);
+}
+`,
+		Train: withHeader([]int64{48}, stream(119, 52, 6)),
+		Ref:   withHeader([]int64{360}, skewedStream(219, 364, 6)),
+	})
+
+	register(&Program{
+		Name:  "heapsift",
+		Suite: IntSuite,
+		Desc:  "binary-heap construction via sift-down (index-doubling loops)",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 255) { n = 255; }
+	var h[255];
+	for (var i = 0; i < n; i++) { h[i] = input() % 1000; }
+	// Heapify bottom-up.
+	for (var s = n / 2 - 1; s >= 0; s--) {
+		var i = s;
+		var going = 1;
+		while (going == 1) {
+			var largest = i;
+			var l = 2 * i + 1;
+			var r = 2 * i + 2;
+			if (l < n) { if (h[l] > h[largest]) { largest = l; } }
+			if (r < n) { if (h[r] > h[largest]) { largest = r; } }
+			if (largest == i) {
+				going = 0;
+			} else {
+				var t = h[i];
+				h[i] = h[largest];
+				h[largest] = t;
+				i = largest;
+			}
+		}
+	}
+	// Verify the heap property while summing.
+	var viol = 0;
+	for (var i = 1; i < n; i++) {
+		if (h[(i - 1) / 2] < h[i]) { viol++; }
+	}
+	print(h[0]);
+	print(viol);
+}
+`,
+		Train: withHeader([]int64{32}, stream(120, 32, 1000)),
+		Ref:   withHeader([]int64{240}, skewedStream(220, 240, 1000)),
+	})
+
+	register(&Program{
+		Name:  "life",
+		Suite: IntSuite,
+		Desc:  "Conway's life on a 16x16 torus (neighbour-count branching)",
+		Source: `
+func main() {
+	var n = 16;
+	var g[256];
+	var h[256];
+	for (var i = 0; i < n * n; i++) { g[i] = input() % 2; }
+	var gens = input();
+	if (gens < 2) { gens = 2; }
+	if (gens > 24) { gens = 24; }
+	var births = 0;
+	var deaths = 0;
+	for (var t = 0; t < gens; t++) {
+		for (var y = 0; y < n; y++) {
+			for (var x = 0; x < n; x++) {
+				var cnt = 0;
+				for (var dy = -1; dy <= 1; dy++) {
+					for (var dx = -1; dx <= 1; dx++) {
+						if (dx != 0 || dy != 0) {
+							var yy = (y + dy + n) % n;
+							var xx = (x + dx + n) % n;
+							cnt = cnt + g[yy * n + xx];
+						}
+					}
+				}
+				var alive = g[y * n + x];
+				var next = 0;
+				if (alive == 1) {
+					if (cnt == 2 || cnt == 3) { next = 1; } else { deaths++; }
+				} else {
+					if (cnt == 3) { next = 1; births++; }
+				}
+				h[y * n + x] = next;
+			}
+		}
+		for (var i = 0; i < n * n; i++) { g[i] = h[i]; }
+	}
+	var pop = 0;
+	for (var i = 0; i < n * n; i++) { pop = pop + g[i]; }
+	print(pop);
+	print(births);
+	print(deaths);
+}
+`,
+		Train: append(stream(121, 256, 2), 4),
+		Ref:   append(skewedStream(221, 256, 2), 16),
+	})
+
+	register(&Program{
+		Name:  "josephus",
+		Suite: IntSuite,
+		Desc:  "Josephus elimination with modular stepping",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 200) { n = 200; }
+	var k = input() % 7 + 2;
+	var alive[200];
+	for (var i = 0; i < n; i++) { alive[i] = 1; }
+	var remaining = n;
+	var pos = 0;
+	while (remaining > 1) {
+		var steps = 0;
+		while (steps < k) {
+			pos = (pos + 1) % n;
+			if (alive[pos] == 1) { steps++; }
+		}
+		alive[pos] = 0;
+		remaining--;
+	}
+	var survivor = -1;
+	for (var i = 0; i < n; i++) {
+		if (alive[i] == 1) { survivor = i; }
+	}
+	print(survivor);
+}
+`,
+		Train: []int64{24, 3},
+		Ref:   []int64{180, 6},
+	})
+
+	register(&Program{
+		Name:  "lcs",
+		Suite: IntSuite,
+		Desc:  "longest common subsequence via dynamic programming",
+		Source: `
+func max2(a, b) {
+	if (a > b) { return a; }
+	return b;
+}
+
+func main() {
+	var n = input();
+	if (n < 4) { n = 4; }
+	if (n > 60) { n = 60; }
+	var a[60];
+	var b[60];
+	for (var i = 0; i < n; i++) { a[i] = input() % 5; }
+	for (var i = 0; i < n; i++) { b[i] = input() % 5; }
+	// dp is (n+1) x (n+1), flattened with width 61.
+	var dp[3721];
+	for (var i = 1; i <= n; i++) {
+		for (var j = 1; j <= n; j++) {
+			if (a[i - 1] == b[j - 1]) {
+				dp[i * 61 + j] = dp[(i - 1) * 61 + j - 1] + 1;
+			} else {
+				dp[i * 61 + j] = max2(dp[(i - 1) * 61 + j], dp[i * 61 + j - 1]);
+			}
+		}
+	}
+	print(dp[n * 61 + n]);
+}
+`,
+		Train: withHeader([]int64{16}, stream(122, 32, 5)),
+		Ref:   withHeader([]int64{56}, skewedStream(222, 112, 5)),
+	})
+
+	register(&Program{
+		Name:  "mergehalves",
+		Suite: IntSuite,
+		Desc:  "merge of two sorted runs (data-driven two-pointer branching)",
+		Source: `
+func main() {
+	var n = input();
+	if (n < 8) { n = 8; }
+	if (n > 200) { n = 200; }
+	var a[200];
+	var b[200];
+	var out[400];
+	var va = 0;
+	var vb = 0;
+	for (var i = 0; i < n; i++) {
+		va = va + input() % 9;
+		a[i] = va;
+		vb = vb + input() % 5;
+		b[i] = vb;
+	}
+	var i = 0;
+	var j = 0;
+	var k = 0;
+	while (i < n && j < n) {
+		if (a[i] <= b[j]) { out[k] = a[i]; i++; }
+		else { out[k] = b[j]; j++; }
+		k++;
+	}
+	while (i < n) { out[k] = a[i]; i++; k++; }
+	while (j < n) { out[k] = b[j]; j++; k++; }
+	var sum = 0;
+	for (var t = 0; t < 2 * n; t++) { sum = sum + out[t]; }
+	print(sum);
+	print(out[0]);
+	print(out[2 * n - 1]);
+}
+`,
+		Train: withHeader([]int64{24}, stream(123, 48, 9)),
+		Ref:   withHeader([]int64{180}, skewedStream(223, 360, 9)),
+	})
+}

@@ -1,0 +1,149 @@
+// Package freq computes expected block and edge execution frequencies
+// from branch probabilities, using the loop-nest propagation of Wu &
+// Larus, "Static Branch Frequency and Program Profile Analysis" (MICRO
+// 1994) — the technique §6 of the paper cites for turning its branch
+// probabilities into execution frequency estimates.
+//
+// Loops are processed innermost first. Within a loop the header gets
+// frequency 1 and frequencies propagate acyclically (back edges skipped);
+// the loop's cyclic probability cp — the mass flowing along back edges
+// into the header — then turns into the multiplier 1/(1-cp) when the
+// enclosing region is propagated. The vrp engine also uses this solver:
+// closed-form loop frequencies converge in one pass where naive iteration
+// creeps geometrically.
+package freq
+
+import (
+	"vrp/internal/dom"
+	"vrp/internal/ir"
+)
+
+// BranchProbFunc returns the probability of the true out-edge of a
+// conditional branch. known=false means the branch has not been predicted
+// (yet): its successors receive zero frequency, which the vrp engine uses
+// as "not yet executable".
+type BranchProbFunc func(br *ir.Instr) (p float64, known bool)
+
+// Frequencies holds expected executions per function invocation.
+type Frequencies struct {
+	Block []float64 // by block ID
+	Edge  []float64 // by edge ID
+}
+
+// MaxCyclic caps a loop's cyclic probability: 1/(1-cp) stays below 2^20
+// even for loops predicted to run "forever".
+const MaxCyclic = 1 - 1.0/(1<<20)
+
+// Compute solves the frequency equations for f given per-branch
+// probabilities. The function must be in the renumbered (reverse
+// postorder) form irgen produces.
+func Compute(f *ir.Func, tree *dom.Tree, loops *dom.LoopInfo, prob BranchProbFunc) *Frequencies {
+	fr := &Frequencies{
+		Block: make([]float64, len(f.Blocks)),
+		Edge:  make([]float64, len(f.Edges)),
+	}
+
+	back := dom.BackEdges(f, tree)
+
+	// edgeProb: probability of leaving a block along each out-edge.
+	edgeProb := func(e *ir.Edge) (float64, bool) {
+		t := e.From.Terminator()
+		if t == nil {
+			return 0, false
+		}
+		switch t.Op {
+		case ir.OpJmp:
+			return 1, true
+		case ir.OpBr:
+			p, known := prob(t)
+			if !known {
+				return 0, false
+			}
+			if e.Kind == ir.EdgeTrue {
+				return p, true
+			}
+			return 1 - p, true
+		}
+		return 0, false
+	}
+
+	// cp[headerID] is the cyclic probability of the loop headed there.
+	cp := make(map[int]float64)
+
+	// propagate computes frequencies inside one region: the blocks of a
+	// loop (header first) or the whole function from the entry. Inner
+	// loop headers are scaled by their 1/(1-cp) multiplier. Blocks are
+	// visited in RPO (f.Blocks order), which tops-sorts the acyclic
+	// remainder once back edges are skipped.
+	headerOf := func(id int) bool {
+		for _, l := range loops.Loops {
+			if l.Header.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	propagate := func(head *ir.Block, in func(id int) bool) {
+		bfreq := make(map[int]float64, len(f.Blocks))
+		for _, b := range f.Blocks {
+			if !in(b.ID) {
+				continue
+			}
+			var freqv float64
+			if b == head {
+				freqv = 1
+			} else {
+				for _, pe := range b.Preds {
+					if back[pe] || !in(pe.From.ID) {
+						continue
+					}
+					freqv += fr.Edge[pe.ID]
+				}
+				if b.ID != head.ID && headerOf(b.ID) {
+					c := cp[b.ID]
+					if c > MaxCyclic {
+						c = MaxCyclic
+					}
+					freqv /= 1 - c
+				}
+			}
+			bfreq[b.ID] = freqv
+			for _, se := range b.Succs {
+				p, known := edgeProb(se)
+				if !known {
+					fr.Edge[se.ID] = 0
+					continue
+				}
+				fr.Edge[se.ID] = freqv * p
+			}
+		}
+		for id, v := range bfreq {
+			fr.Block[id] = v
+		}
+	}
+
+	// Loops innermost (deepest) first.
+	ls := append([]*dom.Loop(nil), loops.Loops...)
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			if ls[j].Depth > ls[i].Depth {
+				ls[i], ls[j] = ls[j], ls[i]
+			}
+		}
+	}
+	for _, l := range ls {
+		propagate(l.Header, func(id int) bool { return l.Contains(id) })
+		c := 0.0
+		for _, be := range l.BackEdge {
+			c += fr.Edge[be.ID]
+		}
+		if c > MaxCyclic {
+			c = MaxCyclic
+		}
+		cp[l.Header.ID] = c
+	}
+
+	// Whole function.
+	propagate(f.Entry, func(int) bool { return true })
+	return fr
+}

@@ -1,0 +1,189 @@
+package freq
+
+import (
+	"math"
+	"testing"
+
+	"vrp/internal/dom"
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+)
+
+func buildMain(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Main()
+}
+
+// computeWith runs the solver with one fixed probability for every branch.
+func computeWith(f *ir.Func, p float64) *Frequencies {
+	tr := dom.New(f)
+	loops := dom.FindLoops(f, tr)
+	return Compute(f, tr, loops, func(*ir.Instr) (float64, bool) { return p, true })
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestStraightLine(t *testing.T) {
+	f := buildMain(t, "func main() { print(1); print(2); }")
+	fr := computeWith(f, 0.5)
+	if !approx(fr.Block[f.Entry.ID], 1) {
+		t.Errorf("entry freq = %f", fr.Block[f.Entry.ID])
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	if (input() > 0) { print(1); } else { print(2); }
+	print(3);
+}`)
+	fr := computeWith(f, 0.25)
+	// Arms get 0.25 / 0.75; the join gets 1 again.
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if !approx(fr.Block[join.ID], 1) {
+		t.Errorf("join freq = %f, want 1", fr.Block[join.ID])
+	}
+	tEdge := f.Entry.Succs[0]
+	fEdge := f.Entry.Succs[1]
+	if !approx(fr.Edge[tEdge.ID], 0.25) || !approx(fr.Edge[fEdge.ID], 0.75) {
+		t.Errorf("edges = %f / %f", fr.Edge[tEdge.ID], fr.Edge[fEdge.ID])
+	}
+}
+
+func TestLoopClosedForm(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	var i = 0;
+	while (input() > 0) { i++; }
+	print(i);
+}`)
+	// Loop continues with p: header frequency = 1/(1-p).
+	for _, p := range []float64{0.5, 0.9, 10.0 / 11.0} {
+		fr := computeWith(f, p)
+		tr := dom.New(f)
+		loops := dom.FindLoops(f, tr)
+		if len(loops.Loops) != 1 {
+			t.Fatal("expected one loop")
+		}
+		h := loops.Loops[0].Header
+		want := 1 / (1 - p)
+		if !approx(fr.Block[h.ID], want) {
+			t.Errorf("p=%f: header freq = %f, want %f", p, fr.Block[h.ID], want)
+		}
+	}
+}
+
+func TestNestedLoopMultiplies(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	var s = 0;
+	while (input() > 0) {
+		while (input() > 0) { s++; }
+	}
+	print(s);
+}`)
+	fr := computeWith(f, 0.9) // each loop runs 10x expected
+	tr := dom.New(f)
+	loops := dom.FindLoops(f, tr)
+	var inner *dom.Loop
+	for _, l := range loops.Loops {
+		if l.Depth == 2 {
+			inner = l
+		}
+	}
+	if inner == nil {
+		t.Fatal("no inner loop")
+	}
+	// Expected outer body executions: p/(1-p) = 9; the inner header runs
+	// 1/(1-p) = 10 times per body execution: 90 total.
+	if got := fr.Block[inner.Header.ID]; math.Abs(got-90) > 1 {
+		t.Errorf("inner header freq = %f, want ~90", got)
+	}
+}
+
+func TestUnknownBranchStopsFlow(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	if (input() > 0) { print(1); }
+	print(2);
+}`)
+	tr := dom.New(f)
+	loops := dom.FindLoops(f, tr)
+	fr := Compute(f, tr, loops, func(*ir.Instr) (float64, bool) { return 0, false })
+	for _, b := range f.Blocks {
+		if b == f.Entry {
+			continue
+		}
+		if fr.Block[b.ID] != 0 {
+			t.Errorf("b%d freq = %f with unknown branches, want 0", b.ID, fr.Block[b.ID])
+		}
+	}
+}
+
+func TestInfiniteLoopCapped(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	while (input() > 0) { print(1); }
+}`)
+	fr := computeWith(f, 1) // "never exits"
+	for _, v := range fr.Block {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("frequency overflow: %v", fr.Block)
+		}
+	}
+}
+
+func TestConservationAtJoins(t *testing.T) {
+	// Flow in == flow out for every internal block under any probability.
+	f := buildMain(t, `
+func main() {
+	var x = input();
+	var s = 0;
+	while (x > 0) {
+		if (x % 2 == 0) { s += 1; } else { s += 2; }
+		x--;
+	}
+	print(s);
+}`)
+	fr := computeWith(f, 0.7)
+	for _, b := range f.Blocks {
+		if b == f.Entry {
+			continue
+		}
+		if t0 := b.Terminator(); t0 != nil && t0.Op == ir.OpRet {
+			continue
+		}
+		in := 0.0
+		for _, e := range b.Preds {
+			in += fr.Edge[e.ID]
+		}
+		out := 0.0
+		for _, e := range b.Succs {
+			out += fr.Edge[e.ID]
+		}
+		if math.Abs(in-out) > 1e-6*math.Max(1, in) {
+			t.Errorf("b%d: in %f != out %f", b.ID, in, out)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package freq
+
+import (
+	"math"
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+func buildProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssaform.Build(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// fixedProb gives every conditional branch probability p.
+func fixedProb(p float64) func(*ir.Func, *ir.Instr) (float64, bool) {
+	return func(*ir.Func, *ir.Instr) (float64, bool) { return p, true }
+}
+
+func TestProgramInvocations(t *testing.T) {
+	prog := buildProg(t, `
+func leaf() { return 1; }
+func mid() { return leaf() + leaf(); }
+func main() {
+	print(mid());
+	print(leaf());
+}`)
+	pf := ComputeProgram(prog, fixedProb(0.5))
+	main := prog.Main()
+	mid := prog.ByName["mid"]
+	leaf := prog.ByName["leaf"]
+	if pf.Invocations[main] != 1 {
+		t.Errorf("main invocations = %f", pf.Invocations[main])
+	}
+	if math.Abs(pf.Invocations[mid]-1) > 1e-9 {
+		t.Errorf("mid invocations = %f, want 1", pf.Invocations[mid])
+	}
+	// leaf: twice from mid (×1) + once from main.
+	if math.Abs(pf.Invocations[leaf]-3) > 1e-9 {
+		t.Errorf("leaf invocations = %f, want 3", pf.Invocations[leaf])
+	}
+}
+
+func TestProgramLoopCalls(t *testing.T) {
+	prog := buildProg(t, `
+func work() { return 1; }
+func main() {
+	var s = 0;
+	while (input() > 0) { s += work(); }
+	print(s);
+}`)
+	// Loop continues with p=0.9: 9 expected iterations.
+	pf := ComputeProgram(prog, fixedProb(0.9))
+	work := prog.ByName["work"]
+	if got := pf.Invocations[work]; math.Abs(got-9) > 0.01 {
+		t.Errorf("work invocations = %f, want ~9", got)
+	}
+}
+
+func TestProgramRecursionBounded(t *testing.T) {
+	prog := buildProg(t, `
+func r(n) {
+	if (input() > 0) { return r(n); }
+	return n;
+}
+func main() { print(r(5)); }`)
+	pf := ComputeProgram(prog, fixedProb(0.5))
+	r := prog.ByName["r"]
+	got := pf.Invocations[r]
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Fatalf("recursive invocations = %f", got)
+	}
+	// Each level recurses with p=0.5: expected total calls = Σ 0.5^k = 2,
+	// within the bounded iteration tolerance.
+	if got < 1 || got > 4 {
+		t.Errorf("recursive invocations = %f, want ~2", got)
+	}
+}
+
+func TestHotFunctions(t *testing.T) {
+	prog := buildProg(t, `
+func rare() { return 1; }
+func hot() { return 2; }
+func main() {
+	for (var i = 0; i < 100; i++) { print(hot()); }
+	print(rare());
+}`)
+	pf := ComputeProgram(prog, func(f *ir.Func, br *ir.Instr) (float64, bool) {
+		return 100.0 / 101, true // loop branch probability
+	})
+	fns := pf.HotFunctions()
+	if len(fns) < 3 {
+		t.Fatalf("functions = %d", len(fns))
+	}
+	if fns[0] != prog.Main() && fns[0] != prog.ByName["hot"] {
+		t.Errorf("hottest = %s", fns[0].Name)
+	}
+	// hot must rank above rare.
+	rank := map[string]int{}
+	for i, f := range fns {
+		rank[f.Name] = i
+	}
+	if rank["hot"] > rank["rare"] {
+		t.Errorf("hot (%d) should rank above rare (%d)", rank["hot"], rank["rare"])
+	}
+}
+
+func TestInlineCandidates(t *testing.T) {
+	prog := buildProg(t, `
+func tiny() { return 1; }
+func big(n) {
+	var s = 0;
+	for (var i = 0; i < n; i++) {
+		if (i % 2 == 0) { s += i; } else { s -= i; }
+		if (i % 3 == 0) { s += 2 * i; }
+		if (i % 5 == 0) { s -= 3; }
+	}
+	return s;
+}
+func main() {
+	var t = 0;
+	for (var i = 0; i < 50; i++) { t += tiny(); }
+	t += big(10);
+	print(t);
+}`)
+	pf := ComputeProgram(prog, fixedProb(0.9))
+	cands := pf.InlineCandidates(prog)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// The hot call of the tiny function must outrank the cold call of the
+	// big one.
+	if cands[0].Callee.Name != "tiny" {
+		t.Errorf("top candidate = %s, want tiny", cands[0].Callee.Name)
+	}
+	if cands[0].Score <= cands[1].Score {
+		t.Error("scores not ordered")
+	}
+}

@@ -1,0 +1,268 @@
+// Package interp executes SSA-form Mini programs and records edge
+// execution counts. It serves two experimental roles:
+//
+//   - ground truth: running a program on its reference input yields the
+//     actual probability of every conditional branch, against which all
+//     predictors are scored;
+//   - the "execution profiling" predictor of §5: counts collected from a
+//     run on the (different) training input, used as predictions —
+//     mirroring the paper's SPEC input.short/input.ref methodology.
+package interp
+
+import (
+	"fmt"
+
+	"vrp/internal/ir"
+)
+
+// Options bounds an execution.
+type Options struct {
+	MaxSteps     int64 // instruction budget; 0 means DefaultMaxSteps
+	MaxCallDepth int   // recursion guard; 0 means DefaultMaxCallDepth
+	MaxArrayLen  int64 // allocation guard; 0 means DefaultMaxArrayLen
+}
+
+// Default execution limits.
+const (
+	DefaultMaxSteps     = 200_000_000
+	DefaultMaxCallDepth = 10_000
+	DefaultMaxArrayLen  = 1 << 24
+)
+
+// Profile is the result of one run.
+type Profile struct {
+	// EdgeCount[f][e.ID] is the number of traversals of edge e.
+	EdgeCount map[*ir.Func][]int64
+	// BlockCount[f][b.ID] is the number of executions of block b.
+	BlockCount map[*ir.Func][]int64
+	// CallCount[f] is the number of invocations of f.
+	CallCount map[*ir.Func]int64
+	// Output is everything print() produced.
+	Output []int64
+	// Steps is the number of instructions executed.
+	Steps int64
+	// Result is main's return value.
+	Result int64
+}
+
+// BranchProb returns the observed probability of the true edge of a
+// conditional branch, and whether the branch executed at all.
+func (p *Profile) BranchProb(f *ir.Func, br *ir.Instr) (float64, bool) {
+	ec := p.EdgeCount[f]
+	if ec == nil || br.Block == nil || len(br.Block.Succs) != 2 {
+		return 0, false
+	}
+	t := float64(ec[br.Block.Succs[0].ID])
+	fc := float64(ec[br.Block.Succs[1].ID])
+	if t+fc == 0 {
+		return 0, false
+	}
+	return t / (t + fc), true
+}
+
+// Run executes the program's main function with the given input stream.
+// input values are consumed by input() in order; an exhausted stream
+// yields zeros.
+func Run(p *ir.Program, input []int64, opts Options) (*Profile, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.MaxCallDepth == 0 {
+		opts.MaxCallDepth = DefaultMaxCallDepth
+	}
+	if opts.MaxArrayLen == 0 {
+		opts.MaxArrayLen = DefaultMaxArrayLen
+	}
+	main := p.Main()
+	if main == nil {
+		return nil, fmt.Errorf("interp: program has no main function")
+	}
+	m := &machine{
+		prog:  p,
+		opts:  opts,
+		input: input,
+		prof: &Profile{
+			EdgeCount:  map[*ir.Func][]int64{},
+			BlockCount: map[*ir.Func][]int64{},
+			CallCount:  map[*ir.Func]int64{},
+		},
+	}
+	for _, f := range p.Funcs {
+		m.prof.EdgeCount[f] = make([]int64, len(f.Edges))
+		m.prof.BlockCount[f] = make([]int64, len(f.Blocks))
+	}
+	ret, err := m.call(main, nil, 0)
+	if err != nil {
+		return m.prof, err
+	}
+	m.prof.Result = ret
+	return m.prof, nil
+}
+
+type machine struct {
+	prog     *ir.Program
+	opts     Options
+	input    []int64
+	inputPos int
+	prof     *Profile
+}
+
+// RuntimeError describes a trap during execution, with the instruction
+// that caused it.
+type RuntimeError struct {
+	Fn    *ir.Func
+	Instr *ir.Instr
+	Msg   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("interp: %s: %s (at %s)", e.Fn.Name, e.Msg, e.Instr)
+}
+
+func (m *machine) trap(f *ir.Func, in *ir.Instr, format string, args ...any) error {
+	return &RuntimeError{Fn: f, Instr: in, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *machine) nextInput() int64 {
+	if m.inputPos >= len(m.input) {
+		return 0
+	}
+	v := m.input[m.inputPos]
+	m.inputPos++
+	return v
+}
+
+// call executes one invocation of f.
+func (m *machine) call(f *ir.Func, args []int64, depth int) (int64, error) {
+	if depth > m.opts.MaxCallDepth {
+		return 0, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
+	}
+	m.prof.CallCount[f]++
+	regs := make([]int64, f.NumRegs)
+	arrays := make(map[ir.Reg][]int64)
+
+	blk := f.Entry
+	var inEdge *ir.Edge
+	ec := m.prof.EdgeCount[f]
+	bc := m.prof.BlockCount[f]
+
+	for {
+		bc[blk.ID]++
+		// φ-functions read their operands simultaneously on entry.
+		phis := blk.Phis()
+		if len(phis) > 0 {
+			idx := 0
+			if inEdge != nil {
+				idx = blk.PredIndex(inEdge)
+				if idx < 0 {
+					return 0, fmt.Errorf("interp: %s: lost incoming edge at b%d", f.Name, blk.ID)
+				}
+			}
+			vals := make([]int64, len(phis))
+			arrs := make([][]int64, len(phis))
+			for i, phi := range phis {
+				src := phi.Args[idx]
+				vals[i] = regs[src]
+				arrs[i] = arrays[src]
+			}
+			for i, phi := range phis {
+				regs[phi.Dst] = vals[i]
+				if arrs[i] != nil {
+					arrays[phi.Dst] = arrs[i]
+				}
+			}
+		}
+
+		for _, in := range blk.Instrs[len(phis):] {
+			m.prof.Steps++
+			if m.prof.Steps > m.opts.MaxSteps {
+				return 0, fmt.Errorf("interp: step budget exceeded (%d)", m.opts.MaxSteps)
+			}
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.Dst] = in.Const
+			case ir.OpParam:
+				if in.ArgIndex < len(args) {
+					regs[in.Dst] = args[in.ArgIndex]
+				}
+			case ir.OpInput:
+				regs[in.Dst] = m.nextInput()
+			case ir.OpBin:
+				regs[in.Dst] = in.BinOp.Eval(regs[in.A], regs[in.B])
+			case ir.OpNeg:
+				regs[in.Dst] = -regs[in.A]
+			case ir.OpNot:
+				if regs[in.A] == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case ir.OpCopy, ir.OpAssert:
+				// Assertions are runtime identities (π-functions).
+				regs[in.Dst] = regs[in.A]
+				if a, ok := arrays[in.A]; ok {
+					arrays[in.Dst] = a
+				}
+			case ir.OpAlloc:
+				n := regs[in.A]
+				if n < 0 || n > m.opts.MaxArrayLen {
+					return 0, m.trap(f, in, "invalid array length %d", n)
+				}
+				arrays[in.Dst] = make([]int64, n)
+			case ir.OpLoad:
+				a := arrays[in.Arr]
+				i := regs[in.A]
+				if i < 0 || i >= int64(len(a)) {
+					return 0, m.trap(f, in, "index %d out of range [0,%d)", i, len(a))
+				}
+				regs[in.Dst] = a[i]
+			case ir.OpStore:
+				a := arrays[in.Arr]
+				i := regs[in.A]
+				if i < 0 || i >= int64(len(a)) {
+					return 0, m.trap(f, in, "index %d out of range [0,%d)", i, len(a))
+				}
+				a[i] = regs[in.B]
+			case ir.OpCall:
+				callee := m.prog.ByName[in.Callee]
+				if callee == nil {
+					return 0, m.trap(f, in, "call to unknown function %q", in.Callee)
+				}
+				cargs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					cargs[i] = regs[a]
+				}
+				v, err := m.call(callee, cargs, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case ir.OpPrint:
+				m.prof.Output = append(m.prof.Output, regs[in.A])
+			case ir.OpRet:
+				if in.A != ir.None {
+					return regs[in.A], nil
+				}
+				return 0, nil
+			case ir.OpJmp:
+				e := blk.Succs[0]
+				ec[e.ID]++
+				blk, inEdge = e.To, e
+			case ir.OpBr:
+				var e *ir.Edge
+				if regs[in.A] != 0 {
+					e = blk.Succs[0]
+				} else {
+					e = blk.Succs[1]
+				}
+				ec[e.ID]++
+				blk, inEdge = e.To, e
+			default:
+				return 0, m.trap(f, in, "unexecutable op %s", in.Op)
+			}
+			if in.Op == ir.OpJmp || in.Op == ir.OpBr {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssaform.Build(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func run(t *testing.T, src string, input []int64) *Profile {
+	t.Helper()
+	prof, err := Run(compile(t, src), input, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return prof
+}
+
+func expectOutput(t *testing.T, src string, input, want []int64) {
+	t.Helper()
+	prof := run(t, src, input)
+	if len(prof.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", prof.Output, want)
+	}
+	for i := range want {
+		if prof.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", prof.Output, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOutput(t, `
+func main() {
+	print(2 + 3 * 4);
+	print((2 + 3) * 4);
+	print(7 / 2);
+	print(-7 / 2);
+	print(7 % 3);
+	print(-7 % 3);
+	print(5 / 0);
+	print(5 % 0);
+	print(-(3 - 10));
+}`, nil, []int64{14, 20, 3, -3, 1, -1, 0, 0, 7})
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectOutput(t, `
+func main() {
+	print(1 < 2);
+	print(2 <= 1);
+	print(3 == 3);
+	print(3 != 3);
+	print(!0);
+	print(!7);
+	print(1 < 2 && 3 < 4);
+	print(1 > 2 || 3 > 4);
+	print(true);
+	print(false);
+}`, nil, []int64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
+}
+
+func TestShortCircuitSkipsEffects(t *testing.T) {
+	// The second operand must not consume input when short-circuited.
+	expectOutput(t, `
+func main() {
+	var a = 0;
+	if (a != 0 && input() == 1) { print(99); }
+	print(input());
+}`, []int64{42}, []int64{42})
+}
+
+func TestLoopsAndFunctions(t *testing.T) {
+	expectOutput(t, `
+func fact(n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+func main() {
+	var s = 0;
+	for (var i = 1; i <= 5; i++) { s += i; }
+	print(s);
+	print(fact(6));
+	var j = 10;
+	while (j > 0) { j -= 3; }
+	print(j);
+}`, nil, []int64{15, 720, -2})
+}
+
+func TestArrays(t *testing.T) {
+	expectOutput(t, `
+func main() {
+	var a[5];
+	for (var i = 0; i < 5; i++) { a[i] = i * i; }
+	a[2] += 100;
+	a[3]++;
+	print(a[0] + a[1] + a[2] + a[3] + a[4]);
+}`, nil, []int64{0 + 1 + 104 + 10 + 16})
+}
+
+func TestInputStream(t *testing.T) {
+	expectOutput(t, `
+func main() {
+	print(input());
+	print(input());
+	print(input()); // exhausted: 0
+}`, []int64{7, 8}, []int64{7, 8, 0})
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectOutput(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 100; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 8) { break; }
+		s += i;
+	}
+	print(s); // 1+3+5+7
+}`, nil, []int64{16})
+}
+
+func TestEdgeCounts(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	for (var i = 0; i < 10; i++) {
+		if (i > 7) { print(i); }
+	}
+}`)
+	prof, err := Run(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	// Find the two conditional branches and check observed probabilities.
+	var probs []float64
+	for _, b := range f.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpBr {
+			p, ok := prof.BranchProb(f, tm)
+			if !ok {
+				t.Fatalf("branch %s never executed", tm)
+			}
+			probs = append(probs, p)
+		}
+	}
+	if len(probs) != 2 {
+		t.Fatalf("branches = %d", len(probs))
+	}
+	// Loop branch: 10 of 11; guard: 2 of 10.
+	if probs[0] < 0.9 || probs[0] > 0.92 {
+		t.Errorf("loop branch observed %f", probs[0])
+	}
+	if probs[1] != 0.2 {
+		t.Errorf("guard observed %f", probs[1])
+	}
+	if prof.CallCount[f] != 1 {
+		t.Errorf("main called %d times", prof.CallCount[f])
+	}
+}
+
+func TestResult(t *testing.T) {
+	prof := run(t, "func main() { return 42; }", nil)
+	if prof.Result != 42 {
+		t.Errorf("result = %d", prof.Result)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var a[3];
+	a[input()] = 1;
+}`)
+	_, err := Run(prog, []int64{5}, Options{})
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected RuntimeError, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "out of range") {
+		t.Errorf("error = %v", re)
+	}
+	if _, err := Run(prog, []int64{-1}, Options{}); err == nil {
+		t.Error("negative index must trap")
+	}
+	if _, err := Run(prog, []int64{2}, Options{}); err != nil {
+		t.Errorf("in-bounds store trapped: %v", err)
+	}
+}
+
+func TestBadAllocTraps(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var n = input();
+	var a[n];
+	a[0] = 1;
+	print(a[0]);
+}`)
+	if _, err := Run(prog, []int64{-3}, Options{}); err == nil {
+		t.Error("negative allocation must trap")
+	}
+	if _, err := Run(prog, []int64{4}, Options{}); err != nil {
+		t.Errorf("valid allocation trapped: %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	while (true) { }
+}`)
+	_, err := Run(prog, nil, Options{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("expected step budget error, got %v", err)
+	}
+}
+
+func TestCallDepthGuard(t *testing.T) {
+	prog := compile(t, `
+func f(n) { return f(n + 1); }
+func main() { print(f(0)); }`)
+	_, err := Run(prog, nil, Options{MaxCallDepth: 100})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected depth error, got %v", err)
+	}
+}
+
+func TestPhiSimultaneity(t *testing.T) {
+	// Parallel swap through a loop: φs must read old values.
+	expectOutput(t, `
+func main() {
+	var a = 1;
+	var b = 2;
+	for (var i = 0; i < 3; i++) {
+		var t = a;
+		a = b;
+		b = t;
+	}
+	print(a);
+	print(b);
+}`, nil, []int64{2, 1})
+}
+
+func TestNoMain(t *testing.T) {
+	prog := compile(t, "func main() {}")
+	prog.ByName = map[string]*ir.Func{}
+	if _, err := Run(prog, nil, Options{}); err == nil {
+		t.Error("missing main must error")
+	}
+}

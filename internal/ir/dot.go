@@ -1,0 +1,65 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the function's CFG in Graphviz DOT format. Optional
+// per-edge labels (e.g. predicted probabilities or execution counts) come
+// from label, which may be nil.
+func (f *Func) WriteDot(w io.Writer, label func(*Edge) string) {
+	fmt.Fprintf(w, "digraph %q {\n", f.Name)
+	fmt.Fprintf(w, "  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for _, b := range f.Blocks {
+		var body strings.Builder
+		fmt.Fprintf(&body, "b%d:\\l", b.ID)
+		for _, in := range b.Instrs {
+			body.WriteString(escapeDot(in.String()))
+			body.WriteString("\\l")
+		}
+		fmt.Fprintf(w, "  b%d [label=\"%s\"];\n", b.ID, body.String())
+	}
+	for _, e := range f.Edges {
+		attrs := ""
+		switch e.Kind {
+		case EdgeTrue:
+			attrs = ", color=darkgreen"
+		case EdgeFalse:
+			attrs = ", color=red3"
+		}
+		lbl := string(e.Kind.String()[0])
+		if e.Kind == EdgeJump {
+			lbl = ""
+		}
+		if label != nil {
+			if s := label(e); s != "" {
+				if lbl != "" {
+					lbl += " "
+				}
+				lbl += s
+			}
+		}
+		fmt.Fprintf(w, "  b%d -> b%d [label=%q%s];\n", e.From.ID, e.To.ID, lbl, attrs)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}
+
+// WriteDot renders every function of the program.
+func (p *Program) WriteDot(w io.Writer, label func(*Func, *Edge) string) {
+	for _, f := range p.Funcs {
+		var fl func(*Edge) string
+		if label != nil {
+			f := f
+			fl = func(e *Edge) string { return label(f, e) }
+		}
+		f.WriteDot(w, fl)
+	}
+}

@@ -1,0 +1,270 @@
+package irgen
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	prog, err := Build(p)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	for _, f := range prog.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Fatalf("verify %s: %v", f.Name, err)
+		}
+	}
+	return prog
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	p := build(t, "func main() { var x = 1 + 2; print(x); }")
+	f := p.Main()
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(f.Blocks))
+	}
+	if countOps(f, ir.OpBin) != 1 || countOps(f, ir.OpPrint) != 1 {
+		t.Error("missing bin/print")
+	}
+	if f.Blocks[0].Terminator().Op != ir.OpRet {
+		t.Error("implicit return missing")
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	p := build(t, `
+func main() {
+	var x = input();
+	if (x > 0) { print(1); } else { print(2); }
+	print(3);
+}`)
+	f := p.Main()
+	// entry(br), then, else, join.
+	if len(f.Blocks) != 4 {
+		t.Errorf("blocks = %d, want 4:\n%s", len(f.Blocks), f)
+	}
+	if countOps(f, ir.OpBr) != 1 {
+		t.Errorf("branches = %d", countOps(f, ir.OpBr))
+	}
+}
+
+func TestWhileShape(t *testing.T) {
+	p := build(t, `
+func main() {
+	var x = 0;
+	while (x < 10) { x++; }
+	print(x);
+}`)
+	f := p.Main()
+	// Exactly one conditional branch (the loop test), and a back edge.
+	if countOps(f, ir.OpBr) != 1 {
+		t.Fatalf("branches = %d", countOps(f, ir.OpBr))
+	}
+	hasBack := false
+	for _, b := range f.Blocks {
+		for _, e := range b.Succs {
+			if e.To.ID <= b.ID {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Error("no back edge for while loop")
+	}
+}
+
+func TestForWithPost(t *testing.T) {
+	p := build(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 5; i++) { s += i; }
+	print(s);
+}`)
+	f := p.Main()
+	if countOps(f, ir.OpBr) != 1 {
+		t.Errorf("branches = %d", countOps(f, ir.OpBr))
+	}
+}
+
+func TestForInfinite(t *testing.T) {
+	p := build(t, `
+func main() {
+	for (;;) { if (input() == 0) { break; } }
+	print(1);
+}`)
+	f := p.Main()
+	if countOps(f, ir.OpBr) != 1 {
+		t.Errorf("branches = %d", countOps(f, ir.OpBr))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	p := build(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i++) {
+		if (i == 3) { continue; }
+		if (i == 7) { break; }
+		s += i;
+	}
+	print(s);
+}`)
+	f := p.Main()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// break/continue produce only reachable blocks after Renumber.
+	for _, b := range f.Blocks {
+		if b != f.Entry && len(b.Preds) == 0 {
+			t.Errorf("unreachable block b%d survived", b.ID)
+		}
+	}
+}
+
+func TestShortCircuitAsControl(t *testing.T) {
+	p := build(t, `
+func main() {
+	var a = input();
+	var b = input();
+	if (a > 0 && b > 0) { print(1); }
+	if (a > 0 || b > 0) { print(2); }
+}`)
+	f := p.Main()
+	// Each && / || introduces an extra conditional branch.
+	if got := countOps(f, ir.OpBr); got != 4 {
+		t.Errorf("branches = %d, want 4", got)
+	}
+}
+
+func TestShortCircuitAsValue(t *testing.T) {
+	p := build(t, `
+func main() {
+	var a = input();
+	var v = a > 0 && a < 10;
+	print(v);
+}`)
+	f := p.Main()
+	if got := countOps(f, ir.OpBr); got != 2 {
+		t.Errorf("branches = %d, want 2", got)
+	}
+}
+
+func TestNotLowering(t *testing.T) {
+	p := build(t, `
+func main() {
+	var a = input();
+	if (!(a > 0)) { print(1); } else { print(2); }
+}`)
+	f := p.Main()
+	// ! in condition context swaps targets: no OpNot should be emitted.
+	if countOps(f, ir.OpNot) != 0 {
+		t.Error("condition-context ! should be lowered to edge swap")
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	p := build(t, `
+func main() {
+	var a[10];
+	a[3] = 7;
+	a[4] += 2;
+	a[5]++;
+	print(a[3]);
+}`)
+	f := p.Main()
+	if countOps(f, ir.OpAlloc) != 1 {
+		t.Error("missing alloc")
+	}
+	if countOps(f, ir.OpStore) != 3 {
+		t.Errorf("stores = %d, want 3", countOps(f, ir.OpStore))
+	}
+	// a[4] += 2 and a[5]++ each need a load; plus the print load.
+	if countOps(f, ir.OpLoad) != 3 {
+		t.Errorf("loads = %d, want 3", countOps(f, ir.OpLoad))
+	}
+}
+
+func TestCallsAndParams(t *testing.T) {
+	p := build(t, `
+func add(a, b) { return a + b; }
+func main() { print(add(1, 2)); }`)
+	f := p.ByName["add"]
+	if len(f.Params) != 2 || countOps(f, ir.OpParam) != 2 {
+		t.Error("params lowered wrong")
+	}
+	m := p.Main()
+	if countOps(m, ir.OpCall) != 1 {
+		t.Error("call missing")
+	}
+}
+
+func TestCriticalEdgesAreSplit(t *testing.T) {
+	p := build(t, `
+func main() {
+	var x = input();
+	var y = 0;
+	while (x > 0) {
+		if (x % 2 == 0) { y++; }
+		x--;
+	}
+	print(y);
+}`)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if len(b.Succs) < 2 {
+				continue
+			}
+			for _, e := range b.Succs {
+				if len(e.To.Preds) > 1 {
+					t.Errorf("%s: critical edge %s not split", f.Name, e)
+				}
+			}
+		}
+	}
+}
+
+func TestNamesRecorded(t *testing.T) {
+	p := build(t, "func main() { var counter = 0; counter++; print(counter); }")
+	f := p.Main()
+	found := false
+	for _, n := range f.Names {
+		if n == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("variable name not recorded")
+	}
+}
+
+func TestEntryIsBlockZero(t *testing.T) {
+	p := build(t, "func main() { while (input() > 0) { } }")
+	f := p.Main()
+	if f.Entry.ID != 0 || f.Blocks[0] != f.Entry {
+		t.Error("entry must be block 0 after renumber")
+	}
+}

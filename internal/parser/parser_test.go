@@ -1,0 +1,257 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vrp/internal/ast"
+	"vrp/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse("t.mini", src)
+	if err != nil {
+		t.Fatalf("Parse error: %v", err)
+	}
+	return p
+}
+
+func mainBody(t *testing.T, stmts string) *ast.BlockStmt {
+	t.Helper()
+	p := parseOK(t, "func main() {\n"+stmts+"\n}")
+	if len(p.Funcs) != 1 {
+		t.Fatalf("got %d funcs", len(p.Funcs))
+	}
+	return p.Funcs[0].Body
+}
+
+func TestFuncDecl(t *testing.T) {
+	p := parseOK(t, "func f(a, b, c) { return a; }\nfunc main() {}")
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "f" || len(f.Params) != 3 || f.Params[1].Name != "b" {
+		t.Errorf("bad func decl: %+v", f)
+	}
+}
+
+func TestVarDecls(t *testing.T) {
+	b := mainBody(t, "var x; var y = 1 + 2; var a[10];")
+	if len(b.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(b.Stmts))
+	}
+	v0 := b.Stmts[0].(*ast.VarDecl)
+	if v0.Name != "x" || v0.Init != nil || v0.Size != nil {
+		t.Errorf("var x parsed wrong: %+v", v0)
+	}
+	v1 := b.Stmts[1].(*ast.VarDecl)
+	if v1.Init == nil {
+		t.Error("var y = ... lost initializer")
+	}
+	v2 := b.Stmts[2].(*ast.VarDecl)
+	if v2.Size == nil {
+		t.Error("var a[10] lost size")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	b := mainBody(t, "var x = 1 + 2 * 3;")
+	init := b.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if init.Op != token.Plus {
+		t.Fatalf("top op = %v, want +", init.Op)
+	}
+	rhs, ok := init.Y.(*ast.BinaryExpr)
+	if !ok || rhs.Op != token.Star {
+		t.Fatalf("rhs = %T, want 2*3", init.Y)
+	}
+}
+
+func TestPrecedenceComparisons(t *testing.T) {
+	b := mainBody(t, "var x = a < b && c == d || e;")
+	or := b.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if or.Op != token.OrOr {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+	and := or.X.(*ast.BinaryExpr)
+	if and.Op != token.AndAnd {
+		t.Fatalf("lhs = %v, want &&", and.Op)
+	}
+}
+
+func TestParenthesesOverride(t *testing.T) {
+	b := mainBody(t, "var x = (1 + 2) * 3;")
+	mul := b.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if mul.Op != token.Star {
+		t.Fatalf("top = %v, want *", mul.Op)
+	}
+	if _, ok := mul.X.(*ast.BinaryExpr); !ok {
+		t.Error("parenthesized lhs lost")
+	}
+}
+
+func TestUnary(t *testing.T) {
+	b := mainBody(t, "var x = -a + !b;")
+	add := b.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	u1 := add.X.(*ast.UnaryExpr)
+	u2 := add.Y.(*ast.UnaryExpr)
+	if u1.Op != token.Minus || u2.Op != token.Not {
+		t.Error("unary ops wrong")
+	}
+}
+
+func TestAssignForms(t *testing.T) {
+	b := mainBody(t, "var x; var a[3]; x = 1; x += 2; a[0] = 3; a[1] -= 4; x++; a[2]--;")
+	if _, ok := b.Stmts[2].(*ast.AssignStmt); !ok {
+		t.Error("x = 1 not an AssignStmt")
+	}
+	s3 := b.Stmts[3].(*ast.AssignStmt)
+	if s3.Op != token.PlusAssign {
+		t.Errorf("x += 2 op = %v", s3.Op)
+	}
+	s4 := b.Stmts[4].(*ast.AssignStmt)
+	if s4.Index == nil || s4.Index.Array != "a" {
+		t.Error("a[0] = 3 lost index target")
+	}
+	s6 := b.Stmts[6].(*ast.IncDecStmt)
+	if s6.Op != token.Inc || s6.Target.Name != "x" {
+		t.Error("x++ parsed wrong")
+	}
+	s7 := b.Stmts[7].(*ast.IncDecStmt)
+	if s7.Op != token.Dec || s7.Index == nil {
+		t.Error("a[2]-- parsed wrong")
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	b := mainBody(t, `
+		if (x == 1) { print(1); }
+		else if (x == 2) { print(2); }
+		else { print(3); }
+	`)
+	s := b.Stmts[0].(*ast.IfStmt)
+	elif, ok := s.Else.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else-if = %T", s.Else)
+	}
+	if elif.Else == nil {
+		t.Error("final else lost")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	b := mainBody(t, `
+		while (x < 10) { x++; }
+		for (var i = 0; i < 10; i++) { break; }
+		for (;;) { continue; }
+	`)
+	w := b.Stmts[0].(*ast.WhileStmt)
+	if w.Cond == nil {
+		t.Error("while lost condition")
+	}
+	f := b.Stmts[1].(*ast.ForStmt)
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		t.Error("for lost a clause")
+	}
+	inf := b.Stmts[2].(*ast.ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Error("for(;;) should have nil clauses")
+	}
+}
+
+func TestCallsAndIndex(t *testing.T) {
+	b := mainBody(t, "var x = f(1, g(2), a[3]) + input();")
+	add := b.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	call := add.X.(*ast.CallExpr)
+	if call.Name != "f" || len(call.Args) != 3 {
+		t.Fatalf("call parsed wrong: %+v", call)
+	}
+	if _, ok := call.Args[1].(*ast.CallExpr); !ok {
+		t.Error("nested call lost")
+	}
+	if _, ok := call.Args[2].(*ast.IndexExpr); !ok {
+		t.Error("index arg lost")
+	}
+	if _, ok := add.Y.(*ast.InputExpr); !ok {
+		t.Error("input() lost")
+	}
+}
+
+func TestBoolLiterals(t *testing.T) {
+	b := mainBody(t, "var x = true; var y = false;")
+	if !b.Stmts[0].(*ast.VarDecl).Init.(*ast.BoolLit).Value {
+		t.Error("true parsed wrong")
+	}
+	if b.Stmts[1].(*ast.VarDecl).Init.(*ast.BoolLit).Value {
+		t.Error("false parsed wrong")
+	}
+}
+
+func TestReturnForms(t *testing.T) {
+	b := mainBody(t, "if (x) { return; } return x + 1;")
+	ret0 := b.Stmts[0].(*ast.IfStmt).Then.(*ast.BlockStmt).Stmts[0].(*ast.ReturnStmt)
+	if ret0.Value != nil {
+		t.Error("bare return got a value")
+	}
+	ret1 := b.Stmts[1].(*ast.ReturnStmt)
+	if ret1.Value == nil {
+		t.Error("return x+1 lost value")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"func main( { }",
+		"func main() { var ; }",
+		"func main() { x = ; }",
+		"func main() { if x { } }",
+		"func main() { 1 + ; }",
+		"notafunc",
+		"func main() { a[1 = 2; }",
+		"func main() { var x = 99999999999999999999999999; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.mini", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, expected error", src)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// Both errors should be reported, not just the first.
+	_, err := Parse("t.mini", "func main() { var = 1; var 2 = 3; }")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n < 2 {
+		t.Errorf("expected at least 2 diagnostics, got %d: %v", n, err)
+	}
+}
+
+// Property: the parser never panics or loops on random token soup.
+func TestParserRobust(t *testing.T) {
+	pieces := []string{
+		"func", "main", "(", ")", "{", "}", "var", "x", "=", "1", ";",
+		"if", "while", "for", "+", "-", "*", "[", "]", "return", ",",
+		"<", "==", "&&", "!", "input", "print", "break", "a", "99",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b.String(), r)
+				}
+			}()
+			Parse("t.mini", b.String()) //nolint:errcheck // errors expected
+		}()
+	}
+}

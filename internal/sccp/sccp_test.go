@@ -1,0 +1,160 @@
+package sccp
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssaform.Build(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// constOfName finds the constant value of an SSA-named variable version.
+func constOfName(f *ir.Func, r *Result, name string) (int64, bool) {
+	for reg, n := range f.Names {
+		if n == name {
+			if v := r.Val[reg]; v.Level == Constant {
+				return v.Const, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func TestSimpleFolding(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var a = 2 + 3;
+	var b = a * 4;
+	print(b);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	if c, ok := constOfName(f, r, "b.0"); !ok || c != 20 {
+		t.Errorf("b.0 = %v, want 20", c)
+	}
+}
+
+func TestBottomFromInput(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var x = input();
+	var y = x + 1;
+	print(y);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	if _, ok := constOfName(f, r, "y.0"); ok {
+		t.Error("y must not be constant")
+	}
+}
+
+// TestConditionalConstant is the classic SCCP win: a branch on a constant
+// makes one arm unreachable, so the join is still constant.
+func TestConditionalConstant(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var flag = 1;
+	var x = 0;
+	if (flag == 1) { x = 5; } else { x = input(); }
+	print(x);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	if c, ok := constOfName(f, r, "x.3"); !ok || c != 5 {
+		// x.3 is the join φ version: x.0 init, x.1/x.2 the arms.
+		t.Errorf("join x = %v, %v; want 5 (unreachable arm ignored)", c, ok)
+	}
+	// The else arm's edge must be non-executable.
+	execCount := 0
+	for _, e := range f.Edges {
+		if r.ExecutableEdge[e.ID] {
+			execCount++
+		}
+	}
+	if execCount == len(f.Edges) {
+		t.Error("SCCP marked every edge executable despite constant branch")
+	}
+}
+
+func TestPhiMeetDisagreement(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var x = 0;
+	if (input() > 0) { x = 1; } else { x = 2; }
+	print(x);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	if _, ok := constOfName(f, r, "x.3"); ok {
+		t.Error("x join of 1 and 2 must be ⊥")
+	}
+}
+
+func TestLoopCounterIsBottom(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i++) { s += 1; }
+	print(s);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	if _, ok := constOfName(f, r, "i.1"); ok {
+		t.Error("loop-carried i must be ⊥ for SCCP")
+	}
+}
+
+func TestEvalsBounded(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 100; i++) {
+		for (var j = 0; j < 100; j++) { s += i * j; }
+	}
+	print(s);
+}`)
+	f := prog.Main()
+	r := Analyze(f)
+	n := int64(f.NumInstrs())
+	if r.Evals > 10*n {
+		t.Errorf("SCCP evals %d > 10x instruction count %d (not linear)", r.Evals, n)
+	}
+}
+
+func TestMeet(t *testing.T) {
+	c5, c7 := constant(5), constant(7)
+	if meet(top(), c5) != c5 || meet(c5, top()) != c5 {
+		t.Error("⊤ must be the meet identity")
+	}
+	if meet(c5, c5) != c5 {
+		t.Error("equal constants meet to themselves")
+	}
+	if meet(c5, c7).Level != Bottom {
+		t.Error("disagreeing constants meet to ⊥")
+	}
+	if meet(bottom(), c5).Level != Bottom {
+		t.Error("⊥ absorbs")
+	}
+}

@@ -1,0 +1,134 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"vrp/internal/parser"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(p)
+}
+
+func expectError(t *testing.T, src, fragment string) {
+	t.Helper()
+	err := check(t, src)
+	if err == nil {
+		t.Fatalf("Check(%q) passed, expected error containing %q", src, fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("Check(%q) error %q does not contain %q", src, err, fragment)
+	}
+}
+
+func TestValidProgram(t *testing.T) {
+	if err := check(t, `
+func helper(a, b) {
+	var local = a + b;
+	return local;
+}
+func main() {
+	var x = helper(1, 2);
+	var arr[10];
+	arr[x] = 3;
+	for (var i = 0; i < 10; i++) {
+		if (arr[i] > 0 && i != 5) { print(arr[i]); }
+	}
+	while (x > 0) { x--; }
+}
+`); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	expectError(t, "func f() {}", "no 'main'")
+}
+
+func TestRedeclaredFunction(t *testing.T) {
+	expectError(t, "func main() {}\nfunc main() {}", "redeclared")
+}
+
+func TestUndeclaredVariable(t *testing.T) {
+	expectError(t, "func main() { x = 1; }", "undeclared")
+	expectError(t, "func main() { var y = x; }", "undeclared")
+	expectError(t, "func main() { print(x); }", "undeclared")
+}
+
+func TestRedeclaredVariable(t *testing.T) {
+	expectError(t, "func main() { var x; var x; }", "redeclared")
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	if err := check(t, `
+func main() {
+	var x = 1;
+	{ var x = 2; print(x); }
+	print(x);
+}
+`); err != nil {
+		t.Fatalf("shadowing should be legal: %v", err)
+	}
+}
+
+func TestBlockScopeEnds(t *testing.T) {
+	expectError(t, `
+func main() {
+	{ var x = 1; }
+	print(x);
+}
+`, "undeclared")
+}
+
+func TestForScopeEnds(t *testing.T) {
+	expectError(t, `
+func main() {
+	for (var i = 0; i < 3; i++) { }
+	print(i);
+}
+`, "undeclared")
+}
+
+func TestArrayMisuse(t *testing.T) {
+	expectError(t, "func main() { var a[3]; a = 1; }", "cannot assign to array")
+	expectError(t, "func main() { var a[3]; print(a); }", "without an index")
+	expectError(t, "func main() { var x; x[0] = 1; }", "not an array")
+	expectError(t, "func main() { var x; print(x[2]); }", "not an array")
+	expectError(t, "func main() { b[0] = 1; }", "undeclared array")
+}
+
+func TestCallChecks(t *testing.T) {
+	expectError(t, "func main() { nosuch(); }", "undefined function")
+	expectError(t, "func f(a) { return a; }\nfunc main() { f(1, 2); }", "takes 1 argument")
+	expectError(t, "func f(a, b) { return a; }\nfunc main() { f(1); }", "takes 2 argument")
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	expectError(t, "func main() { break; }", "'break' outside loop")
+	expectError(t, "func main() { continue; }", "'continue' outside loop")
+	expectError(t, "func main() { if (1) { break; } }", "'break' outside loop")
+	if err := check(t, "func main() { while (1) { if (1) { break; } } }"); err != nil {
+		t.Fatalf("break inside nested if-in-loop should pass: %v", err)
+	}
+}
+
+func TestParamsAreScalars(t *testing.T) {
+	expectError(t, "func f(a) { return a[0]; }\nfunc main() { f(1); }", "not an array")
+}
+
+func TestFuncs(t *testing.T) {
+	p, err := parser.Parse("t.mini", "func a() {}\nfunc b() {}\nfunc main() {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Funcs(p)
+	if len(m) != 3 || m["a"] == nil || m["main"] == nil {
+		t.Errorf("Funcs = %v", m)
+	}
+}

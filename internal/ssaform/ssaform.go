@@ -1,0 +1,436 @@
+// Package ssaform rewrites an ir.Func in place into SSA form with
+// assertion (π) instructions, following the construction the paper builds
+// on (Cytron et al. 1991):
+//
+//  1. assertion insertion — on both out-edges of every conditional branch,
+//     π-instructions re-define the branch's controlling variables with the
+//     relation the edge implies (`x = assert(x < 10)` on the true edge of
+//     `x < 10`, the negation on the false edge);
+//  2. φ insertion at iterated dominance frontiers of definition sites,
+//     pruned by block-level liveness;
+//  3. renaming by dominator-tree walk, producing a unique definition per
+//     register.
+//
+// Assertions are what give value range propagation its precision at
+// branches: "valuable information can often be derived from the equality
+// tests controlling branches" (paper §3.8, figure 3).
+package ssaform
+
+import (
+	"fmt"
+
+	"vrp/internal/dom"
+	"vrp/internal/ir"
+)
+
+// Options controls SSA construction features.
+type Options struct {
+	// NoAssertions disables π-insertion (for the ablation benchmarks).
+	NoAssertions bool
+}
+
+// Build converts every function of p into SSA form.
+func Build(p *ir.Program) error { return BuildWith(p, Options{}) }
+
+// BuildWith converts every function of p into SSA form with options.
+func BuildWith(p *ir.Program, opts Options) error {
+	for _, f := range p.Funcs {
+		if err := buildFunc(f, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildFunc(f *ir.Func, opts Options) error {
+	if f.SSA {
+		return fmt.Errorf("ssaform: %s already in SSA form", f.Name)
+	}
+	b := &builder{f: f}
+	b.countDefs()
+	if !opts.NoAssertions {
+		b.insertAssertions()
+		b.countDefs() // asserts add defs
+	}
+	b.tree = dom.New(f)
+	b.liveness()
+	b.insertPhis()
+	b.rename()
+	f.SSA = true
+	if err := f.BuildDefUse(); err != nil {
+		return err
+	}
+	return f.Verify()
+}
+
+type builder struct {
+	f    *ir.Func
+	tree *dom.Tree
+
+	defCount  []int       // defs per register (pre-SSA)
+	singleDef []*ir.Instr // unique defining instruction, nil if 0 or >1 defs
+
+	liveIn []map[ir.Reg]bool // per block ID
+
+	// Renaming state.
+	stacks  map[ir.Reg][]ir.Reg // original register → stack of SSA names
+	origOf  map[ir.Reg]ir.Reg   // SSA register → original register
+	version map[ir.Reg]int      // original register → next version number
+}
+
+func (b *builder) countDefs() {
+	b.defCount = make([]int, b.f.NumRegs)
+	b.singleDef = make([]*ir.Instr, b.f.NumRegs)
+	for _, blk := range b.f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Defines() {
+				b.defCount[in.Dst]++
+				if b.defCount[in.Dst] == 1 {
+					b.singleDef[in.Dst] = in
+				} else {
+					b.singleDef[in.Dst] = nil
+				}
+			}
+		}
+	}
+}
+
+// resolveRoot follows single-definition copy chains to the register that
+// actually carries the value. The chase stops at named (source-variable)
+// registers: asserting the variable itself lets every later use of the
+// variable see the π-refinement, whereas asserting a deeper temporary
+// would refine a value no one reads again.
+func (b *builder) resolveRoot(r ir.Reg) ir.Reg {
+	for i := 0; i < 64; i++ { // cycle guard; copy chains are short
+		if _, named := b.f.Names[r]; named {
+			return r
+		}
+		d := b.singleDef[r]
+		if d == nil || d.Op != ir.OpCopy {
+			return r
+		}
+		r = d.A
+	}
+	return r
+}
+
+// constOf returns (value, true) if r's unique definition is a constant.
+func (b *builder) constOf(r ir.Reg) (int64, bool) {
+	d := b.singleDef[r]
+	if d != nil && d.Op == ir.OpConst {
+		return d.Const, true
+	}
+	return 0, false
+}
+
+// assertable reports whether a π-definition of r is useful: r must not be
+// a constant or an array reference.
+func (b *builder) assertable(r ir.Reg) bool {
+	if r == ir.None {
+		return false
+	}
+	d := b.singleDef[r]
+	if d != nil && (d.Op == ir.OpConst || d.Op == ir.OpAlloc) {
+		return false
+	}
+	return true
+}
+
+// insertAssertions places π-instructions at the head of each conditional
+// branch successor. irgen guarantees (by critical edge splitting) that
+// both successors of a branch have exactly one predecessor.
+func (b *builder) insertAssertions() {
+	for _, blk := range b.f.Blocks {
+		term := blk.Terminator()
+		if term == nil || term.Op != ir.OpBr {
+			continue
+		}
+		// Chase the condition through copies and negations.
+		cond := term.A
+		polarity := true
+		for {
+			d := b.singleDef[cond]
+			if d == nil {
+				break
+			}
+			if d.Op == ir.OpCopy {
+				cond = d.A
+				continue
+			}
+			if d.Op == ir.OpNot {
+				polarity = !polarity
+				cond = d.A
+				continue
+			}
+			break
+		}
+
+		trueBlk := blk.Succs[0].To
+		falseBlk := blk.Succs[1].To
+		if !polarity {
+			trueBlk, falseBlk = falseBlk, trueBlk
+		}
+
+		d := b.singleDef[cond]
+		if d != nil && d.Op == ir.OpBin && d.BinOp.IsComparison() {
+			x := b.resolveRoot(d.A)
+			y := b.resolveRoot(d.B)
+			b.emitAssertPair(trueBlk, x, d.BinOp, y)
+			b.emitAssertPair(falseBlk, x, d.BinOp.Negate(), y)
+			continue
+		}
+		// Non-comparison condition: the only information is zero/non-zero.
+		root := b.resolveRoot(cond)
+		if b.assertable(root) {
+			b.prependAssert(trueBlk, root, ir.BinNe, ir.None, 0)
+			b.prependAssert(falseBlk, root, ir.BinEq, ir.None, 0)
+		}
+	}
+}
+
+// emitAssertPair asserts `x rel y` into blk for both operands.
+func (b *builder) emitAssertPair(blk *ir.Block, x ir.Reg, rel ir.BinOp, y ir.Reg) {
+	if b.assertable(x) {
+		if c, ok := b.constOf(y); ok {
+			b.prependAssert(blk, x, rel, ir.None, c)
+		} else {
+			b.prependAssert(blk, x, rel, y, 0)
+		}
+	}
+	if b.assertable(y) {
+		rel = rel.Swap()
+		if c, ok := b.constOf(x); ok {
+			b.prependAssert(blk, y, rel, ir.None, c)
+		} else {
+			b.prependAssert(blk, y, rel, x, 0)
+		}
+	}
+}
+
+// prependAssert inserts `x = assert(x rel other)` at the start of blk.
+// Pre-SSA the destination is the asserted register itself; renaming later
+// versions it and rewires dominated uses automatically.
+func (b *builder) prependAssert(blk *ir.Block, x ir.Reg, rel ir.BinOp, other ir.Reg, c int64) {
+	in := &ir.Instr{Op: ir.OpAssert, Dst: x, A: x, B: other, BinOp: rel, Const: c, Block: blk}
+	blk.Instrs = append([]*ir.Instr{in}, blk.Instrs...)
+}
+
+// ----------------------------------------------------------------- φ pass
+
+// liveness computes block-level live-in sets with the classic backward
+// iteration; used to prune dead φs.
+func (b *builder) liveness() {
+	n := len(b.f.Blocks)
+	use := make([]map[ir.Reg]bool, n)  // upward-exposed uses
+	defs := make([]map[ir.Reg]bool, n) // defined before any later use
+	b.liveIn = make([]map[ir.Reg]bool, n)
+	liveOut := make([]map[ir.Reg]bool, n)
+	var buf []ir.Reg
+	for i, blk := range b.f.Blocks {
+		use[i] = map[ir.Reg]bool{}
+		defs[i] = map[ir.Reg]bool{}
+		b.liveIn[i] = map[ir.Reg]bool{}
+		liveOut[i] = map[ir.Reg]bool{}
+		for _, in := range blk.Instrs {
+			buf = in.UseRegs(buf[:0])
+			for _, r := range buf {
+				if !defs[i][r] {
+					use[i][r] = true
+				}
+			}
+			if in.Defines() {
+				defs[i][in.Dst] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			blk := b.f.Blocks[i]
+			for _, e := range blk.Succs {
+				for r := range b.liveIn[e.To.ID] {
+					if !liveOut[i][r] {
+						liveOut[i][r] = true
+						changed = true
+					}
+				}
+			}
+			for r := range liveOut[i] {
+				if !defs[i][r] && !b.liveIn[i][r] {
+					b.liveIn[i][r] = true
+					changed = true
+				}
+			}
+			for r := range use[i] {
+				if !b.liveIn[i][r] {
+					b.liveIn[i][r] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// insertPhis places φ instructions at the iterated dominance frontier of
+// each multiply-defined register's definition sites (pruned by liveness).
+func (b *builder) insertPhis() {
+	defSites := make(map[ir.Reg][]int)
+	for _, blk := range b.f.Blocks {
+		seen := map[ir.Reg]bool{}
+		for _, in := range blk.Instrs {
+			if in.Defines() && !seen[in.Dst] {
+				seen[in.Dst] = true
+				defSites[in.Dst] = append(defSites[in.Dst], blk.ID)
+			}
+		}
+	}
+	for r, sites := range defSites {
+		if b.defCount[r] < 2 {
+			continue
+		}
+		hasPhi := map[int]bool{}
+		work := append([]int(nil), sites...)
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range b.tree.Frontier(x) {
+				if hasPhi[y] || !b.liveIn[y][r] {
+					continue
+				}
+				hasPhi[y] = true
+				blk := b.f.Blocks[y]
+				phi := &ir.Instr{Op: ir.OpPhi, Dst: r, Args: make([]ir.Reg, len(blk.Preds)), Block: blk}
+				for i := range phi.Args {
+					phi.Args[i] = r
+				}
+				blk.Instrs = append([]*ir.Instr{phi}, blk.Instrs...)
+				work = append(work, y)
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- rename
+
+func (b *builder) rename() {
+	b.stacks = map[ir.Reg][]ir.Reg{}
+	b.origOf = map[ir.Reg]ir.Reg{}
+	b.version = map[ir.Reg]int{}
+	if b.f.Names == nil {
+		b.f.Names = map[ir.Reg]string{}
+	}
+	b.renameBlock(b.f.Entry)
+}
+
+// fresh creates a new SSA name for original register r.
+func (b *builder) fresh(r ir.Reg) ir.Reg {
+	nr := b.f.NewReg()
+	b.origOf[nr] = r
+	v := b.version[r]
+	b.version[r] = v + 1
+	if name, ok := b.f.Names[r]; ok {
+		b.f.Names[nr] = fmt.Sprintf("%s.%d", name, v)
+	}
+	b.stacks[r] = append(b.stacks[r], nr)
+	return nr
+}
+
+// top returns the current SSA name of original register r. A use before
+// any definition (possible only for φ operands of variables that were
+// lexically dead on that path) maps to the zero-constant register, created
+// lazily in the entry block.
+func (b *builder) top(r ir.Reg) ir.Reg {
+	s := b.stacks[r]
+	if len(s) == 0 {
+		return b.undef()
+	}
+	return s[len(s)-1]
+}
+
+var undefKey = ir.Reg(-1)
+
+func (b *builder) undef() ir.Reg {
+	s := b.stacks[undefKey]
+	if len(s) > 0 {
+		return s[0]
+	}
+	r := b.f.NewReg()
+	in := &ir.Instr{Op: ir.OpConst, Dst: r, Const: 0, Block: b.f.Entry}
+	// Insert at the very beginning of entry so it dominates everything.
+	b.f.Entry.Instrs = append([]*ir.Instr{in}, b.f.Entry.Instrs...)
+	b.stacks[undefKey] = []ir.Reg{r}
+	return r
+}
+
+func (b *builder) renameBlock(blk *ir.Block) {
+	var pushed []ir.Reg // original registers pushed in this block, for popping
+
+	for _, in := range blk.Instrs {
+		if in.Op != ir.OpPhi {
+			// Rewrite uses first.
+			switch in.Op {
+			case ir.OpBin, ir.OpStore:
+				in.A = b.top(in.A)
+				if in.B != ir.None {
+					in.B = b.top(in.B)
+				}
+				if in.Op == ir.OpStore {
+					in.Arr = b.top(in.Arr)
+				}
+			case ir.OpAssert:
+				in.A = b.top(in.A)
+				in.Parent = in.A
+				if in.B != ir.None {
+					in.B = b.top(in.B)
+				}
+			case ir.OpNeg, ir.OpNot, ir.OpCopy, ir.OpAlloc, ir.OpPrint, ir.OpBr:
+				in.A = b.top(in.A)
+			case ir.OpLoad:
+				in.Arr = b.top(in.Arr)
+				in.A = b.top(in.A)
+			case ir.OpRet:
+				if in.A != ir.None {
+					in.A = b.top(in.A)
+				}
+			case ir.OpCall:
+				for i, a := range in.Args {
+					in.Args[i] = b.top(a)
+				}
+			}
+		}
+		if in.Defines() {
+			orig := in.Dst
+			in.Dst = b.fresh(orig)
+			pushed = append(pushed, orig)
+		}
+	}
+
+	// Fill φ operands of successors.
+	for _, e := range blk.Succs {
+		idx := e.To.PredIndex(e)
+		for _, phi := range e.To.Phis() {
+			if phi.Op != ir.OpPhi {
+				break
+			}
+			// φ args still hold original register names until their own
+			// block is renamed; the arg slot for this edge gets our
+			// current name of the φ's original register.
+			orig := phi.Args[idx]
+			if o, ok := b.origOf[phi.Dst]; ok {
+				orig = o
+			}
+			phi.Args[idx] = b.top(orig)
+		}
+	}
+
+	// Recurse over dominator-tree children.
+	for _, c := range b.tree.Children(blk.ID) {
+		b.renameBlock(b.f.Blocks[c])
+	}
+
+	// Pop.
+	for i := len(pushed) - 1; i >= 0; i-- {
+		r := pushed[i]
+		b.stacks[r] = b.stacks[r][:len(b.stacks[r])-1]
+	}
+}

@@ -1,0 +1,383 @@
+package ssaform
+
+import (
+	"testing"
+
+	"vrp/internal/corpus"
+	"vrp/internal/dom"
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+)
+
+func buildSSA(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	return buildSSAWith(t, src, Options{})
+}
+
+func buildSSAWith(t *testing.T, src string, opts Options) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildWith(prog, opts); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// checkSSAInvariants verifies single assignment and that every use is
+// dominated by its definition (φ uses are checked at the predecessor).
+func checkSSAInvariants(t *testing.T, f *ir.Func) {
+	t.Helper()
+	if !f.SSA {
+		t.Fatal("function not marked SSA")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr := dom.New(f)
+	defBlock := map[ir.Reg]*ir.Block{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Defines() {
+				if prev, ok := defBlock[in.Dst]; ok {
+					t.Fatalf("r%d defined in b%d and b%d", in.Dst, prev.ID, b.ID)
+				}
+				defBlock[in.Dst] = b
+			}
+		}
+	}
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, a := range in.Args {
+					if a == ir.None {
+						continue
+					}
+					db := defBlock[a]
+					if db == nil {
+						t.Errorf("φ arg r%d has no definition", a)
+						continue
+					}
+					pred := b.Preds[i].From
+					if !tr.Dominates(db.ID, pred.ID) {
+						t.Errorf("φ arg r%d (def b%d) does not dominate pred b%d", a, db.ID, pred.ID)
+					}
+				}
+				continue
+			}
+			buf = in.UseRegs(buf[:0])
+			for _, r := range buf {
+				db := defBlock[r]
+				if db == nil {
+					t.Errorf("use of r%d in %s has no definition", r, in)
+					continue
+				}
+				if db != b && !tr.Dominates(db.ID, b.ID) {
+					t.Errorf("def of r%d (b%d) does not dominate use in b%d", r, db.ID, b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestStraightLineSSA(t *testing.T) {
+	p := buildSSA(t, "func main() { var x = 1; x = x + 1; print(x); }")
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	if countOps(f, ir.OpPhi) != 0 {
+		t.Error("straight-line code needs no φs")
+	}
+}
+
+func TestDiamondPhi(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = 0;
+	if (input() > 0) { x = 1; } else { x = 2; }
+	print(x);
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	if n := countOps(f, ir.OpPhi); n != 1 {
+		t.Errorf("φs = %d, want exactly 1 (pruned SSA)", n)
+	}
+}
+
+func TestDeadPhiPruned(t *testing.T) {
+	// y is dead after the if; pruned SSA inserts no φ for it.
+	p := buildSSA(t, `
+func main() {
+	var y = 0;
+	if (input() > 0) { y = 1; } else { y = 2; }
+	print(7);
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	if n := countOps(f, ir.OpPhi); n != 0 {
+		t.Errorf("φs = %d, want 0 for a dead variable", n)
+	}
+}
+
+func TestLoopPhi(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i++) { s += i; }
+	print(s);
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	// i and s both need header φs.
+	if n := countOps(f, ir.OpPhi); n < 2 {
+		t.Errorf("φs = %d, want >= 2", n)
+	}
+}
+
+func TestAssertInsertionComparison(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = input();
+	if (x < 10) { print(1); } else { print(2); }
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	var lt, ge int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAssert {
+				continue
+			}
+			switch in.BinOp {
+			case ir.BinLt:
+				lt++
+				if in.B != ir.None || in.Const != 10 {
+					t.Errorf("true-edge assert wrong: %s", in)
+				}
+			case ir.BinGe:
+				ge++
+			}
+		}
+	}
+	if lt != 1 || ge != 1 {
+		t.Errorf("asserts: lt=%d ge=%d, want 1 each:\n%s", lt, ge, f)
+	}
+}
+
+func TestAssertInsertionBothOperands(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = input();
+	var y = input();
+	if (x < y) { print(1); }
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	// Both x and y get asserts on each edge: 4 total.
+	if n := countOps(f, ir.OpAssert); n != 4 {
+		t.Errorf("asserts = %d, want 4:\n%s", n, f)
+	}
+}
+
+func TestAssertNonComparisonCondition(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = input();
+	if (x) { print(1); }
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	var ne, eq int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAssert {
+				if in.BinOp == ir.BinNe && in.Const == 0 {
+					ne++
+				}
+				if in.BinOp == ir.BinEq && in.Const == 0 {
+					eq++
+				}
+			}
+		}
+	}
+	if ne != 1 || eq != 1 {
+		t.Errorf("zero/non-zero asserts: ne=%d eq=%d", ne, eq)
+	}
+}
+
+func TestAssertThroughNot(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = input();
+	if (!(x < 10)) { print(1); } else { print(2); }
+}`)
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	// The true edge of the (inverted) branch must carry x >= 10.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAssert && in.BinOp == ir.BinGe && in.Const == 10 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("negated condition assert missing:\n%s", f)
+	}
+}
+
+func TestNoAssertOnConstants(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	if (input() < 10) { print(1); }
+}`)
+	f := p.Main()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAssert {
+				if d := f.Defs[in.Parent]; d != nil && d.Op == ir.OpConst {
+					t.Errorf("assert on constant: %s", in)
+				}
+			}
+		}
+	}
+}
+
+func TestNoAssertionsOption(t *testing.T) {
+	p := buildSSAWith(t, `
+func main() {
+	var x = input();
+	if (x < 10) { print(1); }
+}`, Options{NoAssertions: true})
+	f := p.Main()
+	checkSSAInvariants(t, f)
+	if countOps(f, ir.OpAssert) != 0 {
+		t.Error("NoAssertions still produced asserts")
+	}
+}
+
+func TestParentTracksAssert(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = input();
+	if (x < 10) { print(x); }
+}`)
+	f := p.Main()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAssert && in.Parent != in.A {
+				t.Errorf("assert Parent %d != A %d", in.Parent, in.A)
+			}
+		}
+	}
+}
+
+func TestVersionedNames(t *testing.T) {
+	p := buildSSA(t, `
+func main() {
+	var x = 0;
+	x = x + 1;
+	x = x + 2;
+	print(x);
+}`)
+	f := p.Main()
+	versions := map[string]bool{}
+	for _, n := range f.Names {
+		versions[n] = true
+	}
+	for _, want := range []string{"x.0", "x.1", "x.2"} {
+		if !versions[want] {
+			t.Errorf("missing SSA name %s (have %v)", want, f.Names)
+		}
+	}
+}
+
+func TestDoubleBuildRejected(t *testing.T) {
+	p := buildSSA(t, "func main() { print(1); }")
+	if err := Build(p); err == nil {
+		t.Error("second Build should fail")
+	}
+}
+
+// TestSSAOnCorpusLikePrograms stresses the construction on gnarlier
+// control flow.
+func TestSSAOnComplexControlFlow(t *testing.T) {
+	srcs := []string{
+		`func main() {
+			var x = input();
+			var s = 0;
+			while (x > 0) {
+				if (x % 2 == 0) { s += 1; x /= 2; continue; }
+				if (x > 100) { break; }
+				x = 3 * x + 1;
+			}
+			print(s);
+		}`,
+		`func f(a, b) {
+			if (a > b) { return a; }
+			return b;
+		}
+		func main() {
+			var m = 0;
+			for (var i = 0; i < 10; i++) {
+				for (var j = i; j < 10; j++) {
+					m = f(m, i * j);
+				}
+			}
+			print(m);
+		}`,
+		`func main() {
+			var t = 0;
+			for (var i = 0; i < 8; i++) {
+				var v = input();
+				if (v > 0 && v < 100 || v == -1) { t++; }
+			}
+			print(t);
+		}`,
+	}
+	for i, src := range srcs {
+		p := buildSSAWith(t, src, Options{})
+		for _, f := range p.Funcs {
+			checkSSAInvariants(t, f)
+		}
+		_ = i
+	}
+}
+
+// TestSSAInvariantsOnCorpus runs the full SSA invariant check (single
+// assignment + dominance of defs over uses) over every corpus benchmark.
+func TestSSAInvariantsOnCorpus(t *testing.T) {
+	for _, cp := range corpus.All() {
+		cp := cp
+		t.Run(cp.Name, func(t *testing.T) {
+			p := buildSSAWith(t, cp.Source, Options{})
+			for _, f := range p.Funcs {
+				checkSSAInvariants(t, f)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package token defines the lexical tokens of the Mini language.
+package token
+
+import "strconv"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// The token kinds.
+const (
+	Illegal Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident // main
+	Int   // 12345
+
+	// Operators and delimiters.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	Assign        // =
+	PlusAssign    // +=
+	MinusAssign   // -=
+	StarAssign    // *=
+	SlashAssign   // /=
+	PercentAssign // %=
+	Inc           // ++
+	Dec           // --
+
+	Eq  // ==
+	Neq // !=
+	Lt  // <
+	Leq // <=
+	Gt  // >
+	Geq // >=
+
+	AndAnd // &&
+	OrOr   // ||
+	Not    // !
+
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+
+	// Keywords.
+	KwFunc
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwPrint
+	KwInput
+	KwTrue
+	KwFalse
+
+	numKinds
+)
+
+var names = [...]string{
+	Illegal:       "ILLEGAL",
+	EOF:           "EOF",
+	Ident:         "IDENT",
+	Int:           "INT",
+	Plus:          "+",
+	Minus:         "-",
+	Star:          "*",
+	Slash:         "/",
+	Percent:       "%",
+	Assign:        "=",
+	PlusAssign:    "+=",
+	MinusAssign:   "-=",
+	StarAssign:    "*=",
+	SlashAssign:   "/=",
+	PercentAssign: "%=",
+	Inc:           "++",
+	Dec:           "--",
+	Eq:            "==",
+	Neq:           "!=",
+	Lt:            "<",
+	Leq:           "<=",
+	Gt:            ">",
+	Geq:           ">=",
+	AndAnd:        "&&",
+	OrOr:          "||",
+	Not:           "!",
+	LParen:        "(",
+	RParen:        ")",
+	LBrace:        "{",
+	RBrace:        "}",
+	LBracket:      "[",
+	RBracket:      "]",
+	Comma:         ",",
+	Semi:          ";",
+	KwFunc:        "func",
+	KwVar:         "var",
+	KwIf:          "if",
+	KwElse:        "else",
+	KwWhile:       "while",
+	KwFor:         "for",
+	KwBreak:       "break",
+	KwContinue:    "continue",
+	KwReturn:      "return",
+	KwPrint:       "print",
+	KwInput:       "input",
+	KwTrue:        "true",
+	KwFalse:       "false",
+}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "token(" + strconv.Itoa(int(k)) + ")"
+}
+
+var keywords = map[string]Kind{
+	"func":     KwFunc,
+	"var":      KwVar,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"print":    KwPrint,
+	"input":    KwInput,
+	"true":     KwTrue,
+	"false":    KwFalse,
+}
+
+// Lookup maps an identifier to its keyword kind, or Ident if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k >= KwFunc && k < numKinds }
+
+// IsComparison reports whether the kind is a relational operator.
+func (k Kind) IsComparison() bool { return k >= Eq && k <= Geq }
+
+// IsAssignOp reports whether the kind is a compound assignment operator.
+func (k Kind) IsAssignOp() bool { return k >= Assign && k <= PercentAssign }
+
+// Precedence returns the binary operator precedence (higher binds tighter),
+// or 0 if the kind is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, Neq, Lt, Leq, Gt, Geq:
+		return 3
+	case Plus, Minus:
+		return 4
+	case Star, Slash, Percent:
+		return 5
+	}
+	return 0
+}
+
+// Token is one lexical token with its source extent.
+type Token struct {
+	Kind   Kind
+	Lit    string // literal text for Ident and Int
+	Offset int    // byte offset of the first character
+}

@@ -1,0 +1,79 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"func": KwFunc, "var": KwVar, "if": KwIf, "else": KwElse,
+		"while": KwWhile, "for": KwFor, "break": KwBreak,
+		"continue": KwContinue, "return": KwReturn, "print": KwPrint,
+		"input": KwInput, "true": KwTrue, "false": KwFalse,
+		"x": Ident, "main": Ident, "funcx": Ident, "If": Ident,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// || < && < comparisons < additive < multiplicative.
+	ordered := [][]Kind{
+		{OrOr},
+		{AndAnd},
+		{Eq, Neq, Lt, Leq, Gt, Geq},
+		{Plus, Minus},
+		{Star, Slash, Percent},
+	}
+	for i, group := range ordered {
+		for _, k := range group {
+			if k.Precedence() != i+1 {
+				t.Errorf("%v precedence = %d, want %d", k, k.Precedence(), i+1)
+			}
+		}
+	}
+	for _, k := range []Kind{Assign, LParen, Semi, Ident, Int, EOF, Not} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v should not be a binary operator", k)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, k := range []Kind{Eq, Neq, Lt, Leq, Gt, Geq} {
+		if !k.IsComparison() {
+			t.Errorf("%v should be a comparison", k)
+		}
+	}
+	for _, k := range []Kind{Plus, Assign, AndAnd, Not} {
+		if k.IsComparison() {
+			t.Errorf("%v should not be a comparison", k)
+		}
+	}
+	for _, k := range []Kind{Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assign op", k)
+		}
+	}
+	if Eq.IsAssignOp() || Inc.IsAssignOp() {
+		t.Error("Eq/Inc are not assign ops")
+	}
+	for _, k := range []Kind{KwFunc, KwFalse, KwWhile} {
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+	}
+	if Ident.IsKeyword() || Plus.IsKeyword() {
+		t.Error("Ident/Plus are not keywords")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Plus.String() != "+" || KwFunc.String() != "func" || EOF.String() != "EOF" {
+		t.Error("token names wrong")
+	}
+	if Kind(999).String() != "token(999)" {
+		t.Errorf("out-of-range Kind String = %q", Kind(999).String())
+	}
+}

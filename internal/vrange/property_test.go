@@ -1,0 +1,309 @@
+package vrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vrp/internal/ir"
+)
+
+// genRange produces a random small numeric range.
+func genRange(r *rand.Rand) Range {
+	lo := int64(r.Intn(41) - 20)
+	n := int64(r.Intn(8)) // element count - 1
+	stride := int64(r.Intn(4) + 1)
+	if n == 0 {
+		return Range{Prob: 1, Lo: Num(lo), Hi: Num(lo), Stride: 0}
+	}
+	return Range{Prob: 1, Lo: Num(lo), Hi: Num(lo + n*stride), Stride: stride}
+}
+
+// genValue produces a random 1-3 range numeric value with probabilities
+// summing to 1.
+func genValue(r *rand.Rand) Value {
+	k := r.Intn(3) + 1
+	rs := make([]Range, k)
+	for i := range rs {
+		rs[i] = genRange(r)
+		rs[i].Prob = 1 / float64(k)
+	}
+	return FromRanges(rs...)
+}
+
+// members enumerates a numeric range's values.
+func members(rg Range) []int64 {
+	s := rg.Stride
+	if s <= 0 {
+		s = 1
+	}
+	var out []int64
+	for v := rg.Lo.Const; ; v += s {
+		out = append(out, v)
+		if v >= rg.Hi.Const || rg.IsPoint() {
+			break
+		}
+	}
+	return out
+}
+
+// contains reports whether the value's range set can contain x.
+func contains(v Value, x int64) bool {
+	for _, rg := range v.Ranges {
+		s := rg.Stride
+		if s <= 0 {
+			s = 1
+		}
+		if x >= rg.Lo.Const && x <= rg.Hi.Const && (x-rg.Lo.Const)%s == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestArithmeticSoundness: every concrete result of op(x, y) for x, y
+// drawn from the operand sets must be a member of the computed result set
+// (unless the result is ⊥, which is always sound). This is the central
+// soundness invariant of the representation.
+func TestArithmeticSoundness(t *testing.T) {
+	c := calc()
+	r := rand.New(rand.NewSource(1))
+	ops := []ir.BinOp{ir.BinAdd, ir.BinSub, ir.BinMul, ir.BinDiv, ir.BinMod}
+	for iter := 0; iter < 3000; iter++ {
+		a := genValue(r)
+		b := genValue(r)
+		op := ops[r.Intn(len(ops))]
+		res := c.Apply(op, a, b)
+		if res.IsBottom() {
+			continue // giving up is always sound
+		}
+		if res.Kind() != Set {
+			t.Fatalf("%v %s %v = %v", a, op, b, res)
+		}
+		for _, ra := range a.Ranges {
+			for _, x := range members(ra) {
+				for _, rb := range b.Ranges {
+					for _, y := range members(rb) {
+						got := op.Eval(x, y)
+						if !contains(res, got) {
+							t.Fatalf("%d %s %d = %d not in %v (operands %v, %v)",
+								x, op, y, got, res, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRefineSoundness: refining a value against a constraint keeps every
+// member that satisfies the constraint.
+func TestRefineSoundness(t *testing.T) {
+	c := calc()
+	r := rand.New(rand.NewSource(2))
+	rels := []ir.BinOp{ir.BinEq, ir.BinNe, ir.BinLt, ir.BinLe, ir.BinGt, ir.BinGe}
+	for iter := 0; iter < 3000; iter++ {
+		v := genValue(r)
+		k := int64(r.Intn(41) - 20)
+		rel := rels[r.Intn(len(rels))]
+		res := c.Refine(v, rel, Const(k))
+		if res.IsBottom() {
+			continue
+		}
+		for _, rg := range v.Ranges {
+			for _, x := range members(rg) {
+				if rel.Eval(x, k) != 0 && !res.IsInfeasible() && !contains(res, x) {
+					t.Fatalf("refine(%v, %s %d) = %v lost member %d", v, rel, k, res, x)
+				}
+				if rel.Eval(x, k) != 0 && res.IsInfeasible() {
+					t.Fatalf("refine(%v, %s %d) infeasible but %d satisfies", v, rel, k, x)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareProbabilityBounds: comparison probabilities are always within
+// [0,1] and consistent with their negation.
+func TestCompareProbabilityBounds(t *testing.T) {
+	c := calc()
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 2000; iter++ {
+		a := genValue(r)
+		b := genValue(r)
+		for _, rel := range []ir.BinOp{ir.BinLt, ir.BinEq, ir.BinLe} {
+			v1 := c.Compare(rel, a, b)
+			v2 := c.Compare(rel.Negate(), a, b)
+			p1, ok1 := c.ProbTrue(v1)
+			p2, ok2 := c.ProbTrue(v2)
+			if !ok1 || !ok2 {
+				t.Fatalf("compare not computable: %v %s %v", a, rel, b)
+			}
+			if p1 < 0 || p1 > 1 {
+				t.Fatalf("P out of bounds: %f", p1)
+			}
+			if math.Abs(p1+p2-1) > 1e-9 {
+				t.Fatalf("P(%s)+P(neg) = %f + %f != 1", rel, p1, p2)
+			}
+		}
+	}
+}
+
+// TestCanonicalizeInvariants: canonicalization preserves total probability
+// (=1), respects MaxRanges, and never reorders into overlap-violating
+// shapes.
+func TestCanonicalizeInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRanges = 4
+	c := NewCalc(cfg)
+	r := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 2000; iter++ {
+		k := r.Intn(9) + 1
+		rs := make([]Range, k)
+		for i := range rs {
+			rs[i] = genRange(r)
+			rs[i].Prob = r.Float64() + 0.01
+		}
+		v := c.Canonicalize(Value{kind: Set, Ranges: rs})
+		if v.IsBottom() {
+			continue // incompatible symbolic merge (not possible here) or cap failure
+		}
+		if len(v.Ranges) > cfg.MaxRanges {
+			t.Fatalf("canonicalize left %d ranges (cap %d)", len(v.Ranges), cfg.MaxRanges)
+		}
+		total := 0.0
+		for _, rg := range v.Ranges {
+			total += rg.Prob
+			if rg.Prob <= 0 {
+				t.Fatalf("non-positive probability %v", rg)
+			}
+			if d, ok := rg.Hi.Diff(rg.Lo); !ok || d < 0 {
+				t.Fatalf("inverted range %v", rg)
+			}
+			if d, _ := rg.Hi.Diff(rg.Lo); rg.Stride > 0 && d%rg.Stride != 0 {
+				t.Fatalf("span not a stride multiple: %v", rg)
+			}
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Fatalf("probabilities sum to %f: %v", total, v)
+		}
+	}
+}
+
+// TestCanonicalizeCoversMembers: capping ranges only widens membership.
+func TestCanonicalizeCoversMembers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRanges = 2
+	c := NewCalc(cfg)
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 1500; iter++ {
+		k := r.Intn(5) + 1
+		rs := make([]Range, k)
+		for i := range rs {
+			rs[i] = genRange(r)
+			rs[i].Prob = 1 / float64(k)
+		}
+		orig := Value{kind: Set, Ranges: append([]Range(nil), rs...)}
+		v := c.Canonicalize(Value{kind: Set, Ranges: rs})
+		if v.IsBottom() {
+			continue
+		}
+		for _, rg := range orig.Ranges {
+			for _, x := range members(rg) {
+				if !contains(v, x) {
+					t.Fatalf("canonicalize(%v) = %v lost member %d", orig.Ranges, v, x)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeWeights: a φ merge is a convex combination — probabilities sum
+// to one and membership is the union.
+func TestMergeWeights(t *testing.T) {
+	c := calc()
+	r := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 1500; iter++ {
+		a := genValue(r)
+		b := genValue(r)
+		wa := r.Float64() + 0.05
+		wb := r.Float64() + 0.05
+		m := c.Merge([]Weighted{{Val: a, W: wa}, {Val: b, W: wb}})
+		if m.IsBottom() {
+			continue
+		}
+		if m.Kind() != Set {
+			t.Fatalf("merge = %v", m)
+		}
+		total := 0.0
+		for _, rg := range m.Ranges {
+			total += rg.Prob
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Fatalf("merge probabilities sum to %f", total)
+		}
+		for _, src := range []Value{a, b} {
+			for _, rg := range src.Ranges {
+				for _, x := range members(rg) {
+					if !contains(m, x) {
+						t.Fatalf("merge lost member %d: %v + %v = %v", x, a, b, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeIdentities exercises the SCCP-style ⊤/⊥ rules.
+func TestMergeIdentities(t *testing.T) {
+	c := calc()
+	v := FromRanges(numRange(1, 0, 9, 1))
+	if got := c.Merge([]Weighted{{Val: TopValue(), W: 1}, {Val: v, W: 1}}); !got.Equal(v) {
+		t.Errorf("merge(⊤, v) = %v, want v", got)
+	}
+	if got := c.Merge([]Weighted{{Val: BottomValue(), W: 1}, {Val: v, W: 1}}); !got.IsBottom() {
+		t.Errorf("merge(⊥, v) = %v, want ⊥", got)
+	}
+	if got := c.Merge([]Weighted{{Val: v, W: 0}}); !got.IsTop() {
+		t.Errorf("merge with zero weights = %v, want ⊤", got)
+	}
+	if got := c.Merge(nil); !got.IsTop() {
+		t.Errorf("empty merge = %v, want ⊤", got)
+	}
+	// ⊥ on a non-executable (zero-weight) edge is ignored.
+	if got := c.Merge([]Weighted{{Val: BottomValue(), W: 0}, {Val: v, W: 1}}); !got.Equal(v) {
+		t.Errorf("merge(⊥@0, v) = %v, want v", got)
+	}
+}
+
+// TestMergeMixedAncestorsIsBottom guards the single-common-ancestor rule.
+func TestMergeMixedAncestorsIsBottom(t *testing.T) {
+	c := calc()
+	sym := Symbolic(ir.Reg(7))
+	num := Const(4)
+	if got := c.Merge([]Weighted{{Val: sym, W: 1}, {Val: num, W: 1}}); !got.IsBottom() {
+		t.Errorf("merge(symbolic, const) = %v, want ⊥", got)
+	}
+	// Identical symbolic operands are fine.
+	if got := c.Merge([]Weighted{{Val: sym, W: 1}, {Val: sym, W: 3}}); !got.Equal(sym) {
+		t.Errorf("merge(sym, sym) = %v, want sym", got)
+	}
+}
+
+// TestEqualQuick: Equal is reflexive and symmetric on random values.
+func TestEqualQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a := genValue(r)
+		b := genValue(r)
+		if !a.Equal(a) || !b.Equal(b) {
+			return false
+		}
+		return a.Equal(b) == b.Equal(a)
+	}
+	cfgq := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(uint8) bool { return f() }, cfgq); err != nil {
+		t.Error(err)
+	}
+}

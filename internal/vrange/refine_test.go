@@ -1,0 +1,184 @@
+package vrange
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+)
+
+func TestRefinePaperAssert(t *testing.T) {
+	// x1 ∈ [0:10:1]; assert(x1 < 10) gives x2 = [0:9:1] (Figure 4).
+	c := calc()
+	x1 := FromRanges(numRange(1, 0, 10, 1))
+	x2 := c.Refine(x1, ir.BinLt, Const(10))
+	if x2.Kind() != Set || len(x2.Ranges) != 1 {
+		t.Fatalf("x2 = %v", x2)
+	}
+	r := x2.Ranges[0]
+	if r.Lo.Const != 0 || r.Hi.Const != 9 || r.Stride != 1 || !approx(r.Prob, 1) {
+		t.Errorf("x2 = %v, want 1[0:9:1]", r)
+	}
+	// The false edge: assert(x1 >= 10) gives exactly {10}.
+	x3 := c.Refine(x1, ir.BinGe, Const(10))
+	if !mustConst(x3, 10) {
+		t.Errorf("x3 = %v, want {10}", x3)
+	}
+}
+
+func TestRefineLeGt(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 9, 1))
+	le := c.Refine(x, ir.BinLe, Const(7))
+	if r := le.Ranges[0]; r.Lo.Const != 0 || r.Hi.Const != 7 {
+		t.Errorf("x<=7 = %v", le)
+	}
+	gt := c.Refine(x, ir.BinGt, Const(7))
+	if r := gt.Ranges[0]; r.Lo.Const != 8 || r.Hi.Const != 9 {
+		t.Errorf("x>7 = %v", gt)
+	}
+}
+
+func TestRefineStrideAware(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 20, 4)) // {0,4,8,12,16,20}
+	lt := c.Refine(x, ir.BinLt, Const(10))
+	if r := lt.Ranges[0]; r.Lo.Const != 0 || r.Hi.Const != 8 || r.Stride != 4 {
+		t.Errorf("[0:20:4] < 10 = %v, want [0:8:4]", r)
+	}
+	ge := c.Refine(x, ir.BinGe, Const(10))
+	if r := ge.Ranges[0]; r.Lo.Const != 12 || r.Hi.Const != 20 || r.Stride != 4 {
+		t.Errorf("[0:20:4] >= 10 = %v, want [12:20:4]", r)
+	}
+}
+
+func TestRefineEqProducesPoint(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 9, 1))
+	eq := c.Refine(x, ir.BinEq, Const(4))
+	if !mustConst(eq, 4) {
+		t.Errorf("x==4 = %v", eq)
+	}
+	// Equality with an excluded point is infeasible.
+	if got := c.Refine(x, ir.BinEq, Const(42)); !got.IsInfeasible() {
+		t.Errorf("x==42 over [0:9] = %v, want infeasible", got)
+	}
+	// Off-grid equality is infeasible too.
+	odd := FromRanges(numRange(1, 1, 9, 2))
+	if got := c.Refine(odd, ir.BinEq, Const(4)); !got.IsInfeasible() {
+		t.Errorf("odd==4 = %v, want infeasible", got)
+	}
+}
+
+func TestRefineEqOnBottom(t *testing.T) {
+	// §3.5/§6: equality tests recover information even for loads.
+	c := calc()
+	got := c.Refine(BottomValue(), ir.BinEq, Const(5))
+	if !mustConst(got, 5) {
+		t.Errorf("⊥ == 5 = %v, want {5}", got)
+	}
+	// Inequalities cannot bound ⊥ (no representation for half-open).
+	if got := c.Refine(BottomValue(), ir.BinLt, Const(5)); !got.IsBottom() {
+		t.Errorf("⊥ < 5 = %v, want ⊥", got)
+	}
+}
+
+func TestRefineNe(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 9, 1))
+	// Endpoint exclusion tightens the bound.
+	ne0 := c.Refine(x, ir.BinNe, Const(0))
+	if r := ne0.Ranges[0]; r.Lo.Const != 1 || r.Hi.Const != 9 {
+		t.Errorf("x!=0 = %v, want [1:9]", ne0)
+	}
+	// Interior exclusion splits.
+	ne5 := c.Refine(x, ir.BinNe, Const(5))
+	if len(ne5.Ranges) != 2 {
+		t.Fatalf("x!=5 = %v, want a split", ne5)
+	}
+	total := 0.0
+	for _, r := range ne5.Ranges {
+		total += r.Prob
+	}
+	if !approx(total, 1) {
+		t.Errorf("x!=5 probabilities sum to %f", total)
+	}
+	// A point equal to the excluded value is infeasible.
+	five := Const(5)
+	if got := c.Refine(five, ir.BinNe, Const(5)); !got.IsInfeasible() {
+		t.Errorf("5 != 5 = %v, want infeasible", got)
+	}
+}
+
+func TestRefineSymbolicUpperBound(t *testing.T) {
+	// i ∈ [0:n:1], assert(i < n) → [0:n-1:1] (the loop body range).
+	c := calc()
+	n := ir.Reg(9)
+	i := FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Sym(n, 0), Stride: 1})
+	got := c.Refine(i, ir.BinLt, Symbolic(n))
+	if got.Kind() != Set || len(got.Ranges) != 1 {
+		t.Fatalf("refine = %v", got)
+	}
+	r := got.Ranges[0]
+	if r.Lo != Num(0) || r.Hi != Sym(n, -1) {
+		t.Errorf("i<n = %v, want [0:n-1:1]", r)
+	}
+}
+
+func TestRefineAgainstRangeHull(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 100, 1))
+	// y ∈ [10:20]: x < y constrains x to < 20 (the hull max).
+	y := FromRanges(numRange(1, 10, 20, 1))
+	got := c.Refine(x, ir.BinLt, y)
+	if r := got.Ranges[0]; r.Hi.Const != 19 {
+		t.Errorf("x<y = %v, want hi 19", got)
+	}
+	// x == y trims to the hull both ways.
+	got = c.Refine(x, ir.BinEq, y)
+	if r := got.Ranges[0]; r.Lo.Const != 10 || r.Hi.Const != 20 {
+		t.Errorf("x==y = %v, want [10:20]", got)
+	}
+}
+
+func TestRefineMultiRangeRenormalises(t *testing.T) {
+	c := calc()
+	v := FromRanges(numRange(0.5, 0, 4, 1), numRange(0.5, 10, 14, 1))
+	// < 10 keeps only the first range; its probability renormalises to 1.
+	got := c.Refine(v, ir.BinLt, Const(10))
+	if len(got.Ranges) != 1 || !approx(got.Ranges[0].Prob, 1) {
+		t.Errorf("refine = %v", got)
+	}
+	if got.Ranges[0].Hi.Const != 4 {
+		t.Errorf("refine hi = %v", got.Ranges[0])
+	}
+	// < 3 cuts within the first range.
+	got = c.Refine(v, ir.BinLt, Const(3))
+	if len(got.Ranges) != 1 || got.Ranges[0].Hi.Const != 2 {
+		t.Errorf("refine<3 = %v", got)
+	}
+}
+
+func TestRefineInfeasiblePath(t *testing.T) {
+	c := calc()
+	x := FromRanges(numRange(1, 0, 9, 1))
+	if got := c.Refine(x, ir.BinLt, Const(0)); !got.IsInfeasible() {
+		t.Errorf("x<0 over [0:9] = %v, want infeasible", got)
+	}
+	if got := c.Refine(x, ir.BinGt, Const(9)); !got.IsInfeasible() {
+		t.Errorf("x>9 over [0:9] = %v, want infeasible", got)
+	}
+}
+
+func TestRefineTopAndOtherTop(t *testing.T) {
+	c := calc()
+	if !c.Refine(TopValue(), ir.BinLt, Const(5)).IsTop() {
+		t.Error("refine ⊤ must stay ⊤")
+	}
+	x := FromRanges(numRange(1, 0, 9, 1))
+	if !c.Refine(x, ir.BinLt, TopValue()).IsTop() {
+		t.Error("refine against ⊤ constraint must stay ⊤")
+	}
+	if got := c.Refine(x, ir.BinLt, BottomValue()); !got.Equal(x) {
+		t.Error("refine against ⊥ constraint must pass the parent through")
+	}
+}

@@ -1,0 +1,137 @@
+package vrp
+
+import (
+	"math"
+	"testing"
+
+	"vrp/internal/interp"
+	"vrp/internal/ir"
+)
+
+func runProgram(prog *ir.Program, input []int64) ([]int64, error) {
+	prof, err := interp.Run(prog, input, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return prof.Output, nil
+}
+
+const cloneSrc = `
+func kernel(n) {
+	var s = 0;
+	for (var i = 0; i < n; i++) { s += i; }
+	return s;
+}
+func main() {
+	print(kernel(4));
+	print(kernel(400));
+}
+`
+
+func TestCloneProcedures(t *testing.T) {
+	p := compile(t, cloneSrc)
+	rep := CloneProcedures(p, DefaultCloneOptions())
+	if len(rep.Clones["kernel"]) != 1 {
+		t.Fatalf("clones = %v", rep.Clones)
+	}
+	if rep.RetargetedCalls != 1 {
+		t.Errorf("retargeted = %d", rep.RetargetedCalls)
+	}
+	if p.ByName["kernel$clone1"] == nil {
+		t.Fatal("clone not registered")
+	}
+	for _, f := range p.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+
+	// After cloning, each copy's loop is predicted with its own constant
+	// bound: 4/5 vs 400/401 — the "substantially more accurate
+	// predictions" of §3.7.
+	res, err := Analyze(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probs []float64
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "kernel" || br.Fn.Name == "kernel$clone1" {
+			probs = append(probs, br.Prob)
+		}
+	}
+	if len(probs) != 2 {
+		t.Fatalf("kernel branches = %d", len(probs))
+	}
+	lo := math.Min(probs[0], probs[1])
+	hi := math.Max(probs[0], probs[1])
+	if math.Abs(lo-4.0/5) > 0.01 {
+		t.Errorf("small-context loop = %.4f, want %.4f", lo, 4.0/5)
+	}
+	if math.Abs(hi-400.0/401) > 0.001 {
+		t.Errorf("large-context loop = %.4f, want %.4f", hi, 400.0/401)
+	}
+}
+
+func TestCloneExecutionUnchanged(t *testing.T) {
+	// Cloning must not change program behaviour.
+	p1 := compile(t, cloneSrc)
+	p2 := compile(t, cloneSrc)
+	CloneProcedures(p2, DefaultCloneOptions())
+	run := func(prog *ir.Program) []int64 {
+		t.Helper()
+		prof, err := runProgram(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	o1 := run(p1)
+	o2 := run(p2)
+	if len(o1) != len(o2) {
+		t.Fatalf("output lengths differ: %v vs %v", o1, o2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outputs differ: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestCloneSkipsUniformContexts(t *testing.T) {
+	p := compile(t, `
+func helper(n) { return n + 1; }
+func main() {
+	print(helper(5));
+	print(helper(5));
+}`)
+	rep := CloneProcedures(p, DefaultCloneOptions())
+	if len(rep.Clones) != 0 {
+		t.Errorf("uniform context cloned: %v", rep.Clones)
+	}
+}
+
+func TestCloneSkipsUnpinned(t *testing.T) {
+	p := compile(t, `
+func helper(n) { return n + 1; }
+func main() {
+	print(helper(input()));
+	print(helper(input()));
+}`)
+	rep := CloneProcedures(p, DefaultCloneOptions())
+	if len(rep.Clones) != 0 {
+		t.Errorf("unpinned contexts cloned: %v", rep.Clones)
+	}
+}
+
+func TestCloneRespectsLimits(t *testing.T) {
+	p := compile(t, `
+func h(n) { return n * 2; }
+func main() {
+	print(h(1)); print(h(2)); print(h(3));
+	print(h(4)); print(h(5)); print(h(6));
+}`)
+	rep := CloneProcedures(p, CloneOptions{MaxClonesPerFunc: 3, MaxFuncInstrs: 400})
+	if len(rep.Clones["h"]) > 2 { // 3 groups kept: original + 2 clones
+		t.Errorf("clone limit violated: %v", rep.Clones["h"])
+	}
+}

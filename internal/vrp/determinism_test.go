@@ -1,0 +1,69 @@
+package vrp
+
+import (
+	"testing"
+
+	"vrp/internal/corpus"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+// TestDeterministic: repeated analyses of the same program must produce
+// bit-identical predictions — a requirement for reproducible builds and
+// for the experiment harness.
+func TestDeterministic(t *testing.T) {
+	picks := []string{"matmul", "calcvm", "binsearch", "gcdchain", "life", "mixedpoly"}
+	for _, name := range picks {
+		cp := corpus.ByName(name)
+		if cp == nil {
+			t.Fatalf("missing corpus program %s", name)
+		}
+		type snap struct {
+			probs []float64
+			srcs  []PredictionSource
+		}
+		var first *snap
+		for trial := 0; trial < 3; trial++ {
+			ast, err := parser.Parse(name, cp.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sem.Check(ast); err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irgen.Build(ast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ssaform.Build(prog); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Analyze(prog, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := &snap{}
+			for _, br := range res.Branches() {
+				s.probs = append(s.probs, br.Prob)
+				s.srcs = append(s.srcs, br.Source)
+			}
+			if first == nil {
+				first = s
+				continue
+			}
+			if len(s.probs) != len(first.probs) {
+				t.Fatalf("%s: branch count varies across runs", name)
+			}
+			for i := range s.probs {
+				if s.probs[i] != first.probs[i] {
+					t.Errorf("%s: branch %d prob %v vs %v across runs", name, i, s.probs[i], first.probs[i])
+				}
+				if s.srcs[i] != first.srcs[i] {
+					t.Errorf("%s: branch %d source %v vs %v across runs", name, i, s.srcs[i], first.srcs[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package vrp
+
+import (
+	"math"
+
+	"vrp/internal/dom"
+	"vrp/internal/freq"
+	"vrp/internal/ir"
+	"vrp/internal/vrange"
+)
+
+// engine runs the §3.3 worklist algorithm over one function.
+type engine struct {
+	f    *ir.Func
+	cfg  Config
+	calc *vrange.Calc
+	ip   *interproc
+
+	tree      *dom.Tree
+	loops     *dom.LoopInfo
+	backEdges map[*ir.Edge]bool
+
+	val      []vrange.Value // per register
+	edgeFreq []float64      // per edge ID; solved by the freq package
+	blkFreq  []float64      // per block ID
+	visited  []bool         // per block ID
+
+	evalCount     map[*ir.Instr]int // structural changes (widening budget)
+	probCount     map[*ir.Instr]int // probability-only changes (churn budget)
+	brUpdates     map[*ir.Instr]int // accepted branch probability updates
+	derived       map[*ir.Instr]bool
+	derivedStrict map[*ir.Instr]bool // constraint-derived with all-nonzero increments
+	deriveFailed  map[*ir.Instr]bool
+	deriveDeps    map[ir.Reg][]*ir.Instr // value → derived φs consulting it
+
+	branchP   map[*ir.Instr]float64
+	branchSrc map[*ir.Instr]PredictionSource
+
+	// Worklists are FIFO queues (head index + slice): breadth-first
+	// draining lets the frequency updates of one loop traversal coalesce
+	// instead of rippling depth-first through every pending edge.
+	flowWL   []*ir.Edge
+	flowHead int
+	inFlow   map[*ir.Edge]bool
+	ssaWL    []*ir.Instr
+	ssaHead  int
+	inSSA    map[*ir.Instr]bool
+
+	stats Stats
+}
+
+func newEngine(f *ir.Func, cfg Config, calc *vrange.Calc, ip *interproc) *engine {
+	e := &engine{
+		f:             f,
+		cfg:           cfg,
+		calc:          calc,
+		ip:            ip,
+		val:           make([]vrange.Value, f.NumRegs),
+		edgeFreq:      make([]float64, len(f.Edges)),
+		blkFreq:       make([]float64, len(f.Blocks)),
+		visited:       make([]bool, len(f.Blocks)),
+		evalCount:     map[*ir.Instr]int{},
+		probCount:     map[*ir.Instr]int{},
+		brUpdates:     map[*ir.Instr]int{},
+		derived:       map[*ir.Instr]bool{},
+		derivedStrict: map[*ir.Instr]bool{},
+		deriveFailed:  map[*ir.Instr]bool{},
+		deriveDeps:    map[ir.Reg][]*ir.Instr{},
+		branchP:       map[*ir.Instr]float64{},
+		branchSrc:     map[*ir.Instr]PredictionSource{},
+		inFlow:        map[*ir.Edge]bool{},
+		inSSA:         map[*ir.Instr]bool{},
+	}
+	for i := range e.val {
+		e.val[i] = vrange.TopValue()
+	}
+	e.tree = dom.New(f)
+	e.loops = dom.FindLoops(f, e.tree)
+	e.backEdges = dom.BackEdges(f, e.tree)
+	return e
+}
+
+func (e *engine) prog() *ir.Program { return e.ip.prog }
+
+// blockFreq is the node's expected executions per invocation, from the
+// last frequency solve (footnote 1's "sum of the probabilities of the
+// edges which lead to the node being executed", with the loop feedback
+// solved in closed form).
+func (e *engine) blockFreq(b *ir.Block) float64 {
+	if b == e.f.Entry {
+		return 1
+	}
+	s := e.blkFreq[b.ID]
+	if s > e.cfg.MaxFreq {
+		return e.cfg.MaxFreq
+	}
+	return s
+}
+
+// recomputeFreqs re-solves block/edge frequencies after a branch
+// probability change, scheduling every materially changed edge.
+func (e *engine) recomputeFreqs() {
+	fr := freq.Compute(e.f, e.tree, e.loops, func(br *ir.Instr) (float64, bool) {
+		p, ok := e.branchP[br]
+		return p, ok
+	})
+	for i, nv := range fr.Edge {
+		if nv > e.cfg.MaxFreq {
+			nv = e.cfg.MaxFreq
+			fr.Edge[i] = nv
+		}
+		old := e.edgeFreq[i]
+		if math.Abs(nv-old) > e.cfg.FreqEpsilon*math.Max(1, old) {
+			e.pushFlow(e.f.Edges[i])
+		}
+	}
+	e.edgeFreq = fr.Edge
+	e.blkFreq = fr.Block
+}
+
+func (e *engine) pushFlow(ed *ir.Edge) {
+	if !e.inFlow[ed] {
+		e.inFlow[ed] = true
+		e.flowWL = append(e.flowWL, ed)
+	}
+}
+
+func (e *engine) pushSSA(in *ir.Instr) {
+	if !e.inSSA[in] {
+		e.inSSA[in] = true
+		e.ssaWL = append(e.ssaWL, in)
+	}
+}
+
+// compactQueues reclaims queue prefixes once they dominate the slice.
+func (e *engine) compactQueues() {
+	if e.flowHead > 1024 && e.flowHead*2 > len(e.flowWL) {
+		n := copy(e.flowWL, e.flowWL[e.flowHead:])
+		e.flowWL = e.flowWL[:n]
+		e.flowHead = 0
+	}
+	if e.ssaHead > 1024 && e.ssaHead*2 > len(e.ssaWL) {
+		n := copy(e.ssaWL, e.ssaWL[e.ssaHead:])
+		e.ssaWL = e.ssaWL[:n]
+		e.ssaHead = 0
+	}
+}
+
+// pushUses adds the SSA out-edges of a changed definition (and any derived
+// φ that consulted the value during derivation).
+func (e *engine) pushUses(r ir.Reg) {
+	for _, u := range e.f.Uses[r] {
+		e.pushSSA(u)
+	}
+	for _, phi := range e.deriveDeps[r] {
+		e.pushSSA(phi)
+	}
+}
+
+// run executes the algorithm of §3.3 to its fixed point.
+func (e *engine) run() {
+	// Step 1: the entry node is executable with probability 1; evaluate it
+	// and seed the FlowWorkList with its out-edges via the first frequency
+	// solve.
+	e.visitBlock(e.f.Entry)
+	e.recomputeFreqs()
+
+	// Step 2: drain the lists, preferring the configured one.
+	for e.flowHead < len(e.flowWL) || e.ssaHead < len(e.ssaWL) {
+		flowAvail := e.flowHead < len(e.flowWL)
+		ssaAvail := e.ssaHead < len(e.ssaWL)
+		if (e.cfg.FlowFirst && flowAvail) || !ssaAvail {
+			ed := e.flowWL[e.flowHead]
+			e.flowWL[e.flowHead] = nil
+			e.flowHead++
+			delete(e.inFlow, ed)
+			if e.edgeFreq[ed.ID] > 0 {
+				e.visitBlock(ed.To) // step 3
+			}
+			e.compactQueues()
+			continue
+		}
+		in := e.ssaWL[e.ssaHead]
+		e.ssaWL[e.ssaHead] = nil
+		e.ssaHead++
+		delete(e.inSSA, in)
+		e.processSSAItem(in) // steps 4–7
+		e.compactQueues()
+	}
+	e.finalize()
+}
+
+// visitBlock implements step 3: on first visit evaluate every expression
+// in the node, afterwards only the φ-functions; the terminator's out-edge
+// probabilities are refreshed either way because the node frequency may
+// have changed.
+func (e *engine) visitBlock(b *ir.Block) {
+	e.stats.FlowVisits++
+	first := !e.visited[b.ID]
+	e.visited[b.ID] = true
+	for _, in := range b.Instrs {
+		if first || in.Op == ir.OpPhi {
+			e.evalInstr(in)
+		}
+	}
+}
+
+// processSSAItem handles one SSA worklist entry (steps 4–7).
+func (e *engine) processSSAItem(in *ir.Instr) {
+	if in.Op == ir.OpPhi {
+		e.evalInstr(in)
+		return
+	}
+	// Step 6 guard: evaluate only if the node can execute.
+	b := in.Block
+	if !e.visited[b.ID] {
+		return // will be evaluated when a flow edge reaches it
+	}
+	if b != e.f.Entry && e.blockFreq(b) <= 0 {
+		return
+	}
+	e.evalInstr(in)
+}
+
+// setValue records a freshly evaluated result, applying the MaxEvals
+// widening backstop, and propagates along SSA edges on change.
+func (e *engine) setValue(in *ir.Instr, nv vrange.Value) {
+	old := e.val[in.Dst]
+	if nv.Equal(old) {
+		return
+	}
+	if !nv.SameShape(old) {
+		e.evalCount[in]++
+		if e.evalCount[in] > e.cfg.MaxEvals {
+			nv = vrange.BottomValue()
+			if nv.Equal(old) {
+				return
+			}
+		}
+	} else {
+		// Probability-only refinement. The branch-prob → frequency →
+		// φ-weight feedback can oscillate without ever changing range
+		// structure; a generous churn budget lets genuine refinements
+		// settle and then freezes the value near its fixpoint.
+		e.probCount[in]++
+		if e.probCount[in] > probChurnBudget {
+			e.val[in.Dst] = nv
+			return // keep the latest value, stop propagating the ripple
+		}
+	}
+	e.val[in.Dst] = nv
+	e.pushUses(in.Dst)
+}
+
+// Budgets bounding the probability-refinement feedback (structure changes
+// are bounded separately by Config.MaxEvals).
+const (
+	probChurnBudget    = 256
+	branchUpdateBudget = 256
+)
+
+// symVal returns the operand's value, substituting the symbolic point
+// range {1[r:r:0]} for ⊥ operands when symbolic ranges are enabled — this
+// is how values "specified relative to others" (§3.4) arise.
+func (e *engine) symVal(r ir.Reg) vrange.Value {
+	v := e.val[r]
+	if v.IsBottom() && e.cfg.Range.Symbolic {
+		return vrange.Symbolic(e.rootOf(r))
+	}
+	return v
+}
+
+// rootOf chases copies, assertion parents and identity-φs to the
+// canonical ancestor register, so that symbolic bounds created from
+// different copies or π-refinements of the same runtime value compare
+// equal. Assertions are runtime identities (their refinement lives in the
+// value table, not in the symbolic name), and a φ whose operands all
+// chase back to the φ itself or to one common register — the shape
+// assertion-versioning creates at loop headers for unmodified variables —
+// is an identity too.
+func (e *engine) rootOf(r ir.Reg) ir.Reg {
+	for i := 0; i < 64; i++ {
+		d := e.f.Defs[r]
+		if d == nil {
+			return r
+		}
+		switch d.Op {
+		case ir.OpCopy:
+			r = d.A
+		case ir.OpAssert:
+			r = d.Parent
+		case ir.OpPhi:
+			origin := ir.None
+			distinct := true
+			for _, a := range d.Args {
+				o := e.chaseCopyAssert(a, r)
+				if o == r {
+					continue // refinement of the φ itself
+				}
+				if origin == ir.None {
+					origin = o
+				} else if origin != o {
+					distinct = false
+					break
+				}
+			}
+			if !distinct || origin == ir.None {
+				return r
+			}
+			r = origin
+		default:
+			return r
+		}
+	}
+	return r
+}
+
+// chaseCopyAssert follows copies and assertion parents only, stopping at
+// any other definition (including φs). self short-circuits cycles back to
+// the φ being resolved.
+func (e *engine) chaseCopyAssert(r, self ir.Reg) ir.Reg {
+	for i := 0; i < 64; i++ {
+		if r == self {
+			return self
+		}
+		d := e.f.Defs[r]
+		if d == nil {
+			return r
+		}
+		switch d.Op {
+		case ir.OpCopy:
+			r = d.A
+		case ir.OpAssert:
+			r = d.Parent
+		default:
+			return r
+		}
+	}
+	return r
+}
+
+// evalInstr evaluates one instruction (the "symbolic execution" of §3.2).
+func (e *engine) evalInstr(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpPhi:
+		e.evalPhi(in)
+		return
+	case ir.OpBr, ir.OpJmp:
+		e.updateOutEdges(in.Block)
+		return
+	case ir.OpRet, ir.OpPrint, ir.OpStore:
+		return
+	}
+	e.stats.ExprEvals++
+	var nv vrange.Value
+	switch in.Op {
+	case ir.OpConst:
+		nv = vrange.Const(in.Const)
+	case ir.OpParam:
+		nv = e.ip.paramValue(e.f, in.ArgIndex)
+	case ir.OpInput, ir.OpLoad, ir.OpAlloc:
+		// Loads are the paper's canonical ⊥ producers (§3.5); input() and
+		// array references are equally opaque.
+		nv = vrange.BottomValue()
+	case ir.OpCopy:
+		nv = e.symVal(in.A)
+	case ir.OpNeg:
+		nv = e.calc.Neg(e.val[in.A])
+	case ir.OpNot:
+		nv = e.calc.Not(e.val[in.A])
+	case ir.OpBin:
+		a, b := e.symVal(in.A), e.symVal(in.B)
+		if in.BinOp.IsComparison() {
+			// Correlation-preserving comparison (§3.4): when one side's
+			// range is expressed relative to the other side's root value
+			// (e.g. j ∈ [0:i:1] compared against i), compare against the
+			// symbolic point rather than the root's numeric hull — the
+			// uniform-independence model would discard the correlation.
+			ra, rb := e.rootOf(in.A), e.rootOf(in.B)
+			if refersTo(a, rb) {
+				b = vrange.Symbolic(rb)
+			} else if refersTo(b, ra) {
+				a = vrange.Symbolic(ra)
+			}
+		}
+		nv = e.calc.Apply(in.BinOp, a, b)
+	case ir.OpAssert:
+		other := vrange.Const(in.Const)
+		if in.B != ir.None {
+			other = e.symVal(in.B)
+		}
+		nv = e.calc.Refine(e.val[in.A], in.BinOp, other)
+	case ir.OpCall:
+		callee := e.prog().ByName[in.Callee]
+		if callee == nil {
+			nv = vrange.BottomValue()
+		} else {
+			nv = e.ip.returnValue(callee)
+		}
+	default:
+		nv = vrange.BottomValue()
+	}
+	e.setValue(in, nv)
+}
+
+// evalPhi implements steps 4 and 5: loop-carried φs are derived, others
+// merge their operands weighted by in-edge probability. The paper's
+// footnote 4 short-circuits families of assertions of a common parent.
+func (e *engine) evalPhi(phi *ir.Instr) {
+	e.stats.PhiEvals++
+	b := phi.Block
+
+	hasBack := false
+	for _, pe := range b.Preds {
+		if e.backEdges[pe] {
+			hasBack = true
+			break
+		}
+	}
+	if hasBack && e.cfg.Derivation && !e.deriveFailed[phi] {
+		v, st := e.derive(phi)
+		switch st {
+		case deriveOK:
+			if !e.derived[phi] {
+				e.stats.DerivedLoops++
+			}
+			e.derived[phi] = true
+			e.setValue(phi, v)
+			return
+		case deriveNotReady:
+			// Not enough information yet (e.g. the increment constant's
+			// block has not executed). Fall through to the optimistic
+			// merge of the executable in-edges so the loop body becomes
+			// reachable; derivation is retried when the consulted values
+			// lower.
+		case deriveFail:
+			e.stats.FailedDerives++
+			e.deriveFailed[phi] = true
+			// A φ may have derived earlier under transient information
+			// (e.g. an increment operand that was still a lone constant)
+			// and fail to re-derive once the operand lowers. Clearing the
+			// derived mark hands the φ back to merge-based evaluation —
+			// leaving it would freeze a stale optimistic value.
+			e.derived[phi] = false
+			e.derivedStrict[phi] = false
+		}
+	}
+	if e.derived[phi] {
+		// Derived expressions are not re-evaluated by merging (§3.3 step
+		// 4); value updates happen through re-derivation above.
+		return
+	}
+
+	// Step 5: executable in-edges only.
+	type op struct {
+		reg ir.Reg
+		w   float64
+	}
+	var ops []op
+	for i, pe := range b.Preds {
+		w := e.edgeFreq[pe.ID]
+		if w <= 0 {
+			continue
+		}
+		ops = append(ops, op{phi.Args[i], w})
+	}
+	if len(ops) == 0 {
+		return // not yet executable: stays ⊤
+	}
+
+	// Footnote 4: if every executable operand is an assertion of (or copy
+	// of) one common parent, the merge is exactly the parent's range.
+	origin := e.assertOrigin(ops[0].reg)
+	same := origin != ir.None && origin != phi.Dst
+	for _, o := range ops[1:] {
+		if e.assertOrigin(o.reg) != origin {
+			same = false
+			break
+		}
+	}
+	if same && len(ops) > 1 {
+		e.setValue(phi, e.calc.MergeAssertionFamily(e.val[origin]))
+		return
+	}
+
+	items := make([]vrange.Weighted, len(ops))
+	for i, o := range ops {
+		items[i] = vrange.Weighted{Val: e.val[o.reg], W: o.w}
+	}
+	e.setValue(phi, e.calc.Merge(items))
+}
+
+// copyRoot chases copy chains only (no assertion unwrapping).
+func (e *engine) copyRoot(r ir.Reg) ir.Reg {
+	for i := 0; i < 64; i++ {
+		d := e.f.Defs[r]
+		if d == nil || d.Op != ir.OpCopy {
+			return r
+		}
+		r = d.A
+	}
+	return r
+}
+
+// assertOrigin finds the nearest π-parent of a φ operand: copies are
+// transparent, and exactly one assertion level is unwrapped, so that a
+// family of complementary assertions maps to its immediate common parent
+// (the most refined shared value) rather than to the top of the chain.
+func (e *engine) assertOrigin(r ir.Reg) ir.Reg {
+	r = e.copyRoot(r)
+	d := e.f.Defs[r]
+	if d != nil && d.Op == ir.OpAssert {
+		return e.copyRoot(d.Parent)
+	}
+	return r
+}
+
+// updateOutEdges re-examines a block's conditional branch (step 7). A
+// materially changed probability triggers a whole-function frequency
+// re-solve, which schedules every affected flow edge. Jump frequencies
+// need no separate handling: the solver owns them.
+func (e *engine) updateOutEdges(b *ir.Block) {
+	t := b.Terminator()
+	if t == nil || t.Op != ir.OpBr {
+		return
+	}
+	p, src, ok := e.branchProb(t)
+	if !ok {
+		return
+	}
+	old, had := e.branchP[t]
+	e.branchSrc[t] = src
+	if had && math.Abs(old-p) <= 1e-9 {
+		return
+	}
+	if e.brUpdates[t] > branchUpdateBudget {
+		e.branchP[t] = p // keep the freshest value, stop re-solving
+		return
+	}
+	e.brUpdates[t]++
+	e.branchP[t] = p
+	e.recomputeFreqs()
+}
+
+// branchProb determines the probability of taking the branch by examining
+// the controlling variable's value range (step 7), falling back to the
+// heuristic hook for ⊥.
+func (e *engine) branchProb(t *ir.Instr) (float64, PredictionSource, bool) {
+	cv := e.val[t.A]
+	switch cv.Kind() {
+	case vrange.Top:
+		return 0, ByDefault, false // not yet evaluated
+	case vrange.Bottom:
+		return e.fallback(t), ByHeuristic, true
+	}
+	if cv.IsInfeasible() {
+		return 0, ByDefault, false
+	}
+	p, ok := e.calc.ProbTrue(cv)
+	if !ok {
+		return e.fallback(t), ByHeuristic, true
+	}
+	return p, ByRange, true
+}
+
+func (e *engine) fallback(t *ir.Instr) float64 {
+	if e.cfg.Fallback != nil {
+		return e.cfg.Fallback(e.f, t)
+	}
+	return 0.5
+}
+
+// finalize assigns heuristic probabilities to branches that never received
+// one (unreachable code or ⊤ conditions left by interprocedural cycles).
+func (e *engine) finalize() {
+	for _, b := range e.f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		if _, ok := e.branchP[t]; ok {
+			continue
+		}
+		e.branchP[t] = e.fallback(t)
+		e.branchSrc[t] = ByDefault
+	}
+}
+
+func (e *engine) result() *FuncResult {
+	fr := &FuncResult{
+		Fn:           e.f,
+		Val:          e.val,
+		EdgeFreq:     e.edgeFreq,
+		BranchProb:   e.branchP,
+		BranchSource: e.branchSrc,
+	}
+	return fr
+}
+
+// refersTo reports whether any bound of the value references register r.
+func refersTo(v vrange.Value, r ir.Reg) bool {
+	if v.Kind() != vrange.Set {
+		return false
+	}
+	for _, rg := range v.Ranges {
+		if rg.Lo.Var == r || rg.Hi.Var == r {
+			return true
+		}
+	}
+	return false
+}

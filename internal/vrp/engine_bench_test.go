@@ -1,0 +1,99 @@
+package vrp
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+func mustCompile(b *testing.B, src string) *ir.Program {
+	b.Helper()
+	prog, err := parser.Parse("b.mini", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sem.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	p, err := irgen.Build(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssaform.Build(p); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkAnalyzePaperExample measures one full propagation of the
+// paper's worked example.
+func BenchmarkAnalyzePaperExample(b *testing.B) {
+	p := mustCompile(b, paperExample)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(p, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeLoopNest measures the engine on a deeper loop nest with
+// derivations and interprocedural flow.
+func BenchmarkAnalyzeLoopNest(b *testing.B) {
+	p := mustCompile(b, `
+func kernel(n, m) {
+	var s = 0;
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < m; j++) {
+			if ((i + j) % 2 == 0) { s += i; } else { s -= j; }
+		}
+	}
+	return s;
+}
+func main() {
+	print(kernel(50, 20));
+	print(kernel(10, 100));
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(p, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerivation isolates loop-carried derivation against brute
+// force on the same program.
+func BenchmarkDerivation(b *testing.B) {
+	src := `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 200; i += 2) { s += 1; }
+	print(s);
+}`
+	for _, derive := range []bool{true, false} {
+		name := "derive"
+		if !derive {
+			name = "bruteforce"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := mustCompile(b, src)
+			cfg := DefaultConfig()
+			cfg.Derivation = derive
+			b.ResetTimer()
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = res.Stats.ExprEvals + res.Stats.PhiEvals
+			}
+			b.ReportMetric(float64(evals), "evals")
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package vrp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterprocRecursiveParamRanges(t *testing.T) {
+	// fact(n-1) feeds the parameter back with a shrinking range; the
+	// engine must reach a fixed point with sane probabilities.
+	res := analyze(t, `
+func fact(n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+func main() {
+	print(fact(10));
+}`, DefaultConfig())
+	for _, br := range res.Branches() {
+		if br.Prob < 0 || br.Prob > 1 || math.IsNaN(br.Prob) {
+			t.Errorf("prob = %v", br.Prob)
+		}
+	}
+}
+
+func TestInterprocMultipleReturns(t *testing.T) {
+	// The merged return range {1,2,3} feeds the caller's comparison.
+	res := analyze(t, `
+func pick(k) {
+	if (k == 0) { return 1; }
+	if (k == 1) { return 2; }
+	return 3;
+}
+func main() {
+	var v = pick(input() % 3);
+	if (v <= 3) { print(1); } // always true
+	if (v == 0) { print(2); } // never true
+}`, DefaultConfig())
+	var probs []float64
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "main" {
+			probs = append(probs, br.Prob)
+		}
+	}
+	if len(probs) != 2 {
+		t.Fatalf("main branches = %d", len(probs))
+	}
+	if probs[0] != 1 {
+		t.Errorf("v<=3 = %.3f, want 1", probs[0])
+	}
+	if probs[1] != 0 {
+		t.Errorf("v==0 = %.3f, want 0", probs[1])
+	}
+}
+
+func TestInterprocUncalledFunction(t *testing.T) {
+	// A never-called function still gets analyzed without errors; its
+	// parameters stay unknown.
+	res := analyze(t, `
+func orphan(x) {
+	if (x > 0) { return x; }
+	return -x;
+}
+func main() { print(1); }`, DefaultConfig())
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "orphan" {
+			if br.Prob < 0 || br.Prob > 1 {
+				t.Errorf("orphan prob = %v", br.Prob)
+			}
+		}
+	}
+}
+
+func TestInterprocCallSiteWeighting(t *testing.T) {
+	// One call site executes 100x more often; the merged parameter range
+	// must weight it accordingly: P(v == 1) ≈ 100/101.
+	res := analyze(t, `
+func probe(v) {
+	if (v == 1) { return 10; }
+	return 20;
+}
+func main() {
+	var s = 0;
+	for (var i = 0; i < 100; i++) { s += probe(1); }
+	s += probe(2);
+	print(s);
+}`, DefaultConfig())
+	var got *Branch
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "probe" {
+			b := br
+			got = &b
+		}
+	}
+	if got == nil {
+		t.Fatal("no probe branch")
+	}
+	if got.Source != ByRange {
+		t.Fatalf("probe source = %v", got.Source)
+	}
+	want := 100.0 / 101.0 // weighted by call frequency
+	if math.Abs(got.Prob-want) > 0.03 {
+		t.Errorf("P(v==1) = %.4f, want ~%.4f", got.Prob, want)
+	}
+}
+
+func TestSanitizeStripsSymbolic(t *testing.T) {
+	// A symbolic argument (caller-local ancestor) cannot cross the call
+	// boundary; the callee sees ⊥, not a dangling symbol.
+	res := analyze(t, `
+func inner(v) {
+	if (v > 5) { return 1; }
+	return 0;
+}
+func main() {
+	var x = input();
+	print(inner(x)); // x is symbolic {1[x:x:0]} in main
+}`, DefaultConfig())
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "inner" && br.Source == ByRange {
+			t.Errorf("inner branch predicted from a range that cannot exist: %v", br.Prob)
+		}
+	}
+}
+
+func TestMutualRecursionTerminates(t *testing.T) {
+	res := analyze(t, `
+func even(n) {
+	if (n == 0) { return 1; }
+	return odd(n - 1);
+}
+func odd(n) {
+	if (n == 0) { return 0; }
+	return even(n - 1);
+}
+func main() {
+	print(even(20));
+}`, DefaultConfig())
+	if res.Stats.Passes == 0 || res.Stats.Passes > DefaultConfig().MaxPasses {
+		t.Errorf("passes = %d", res.Stats.Passes)
+	}
+	for _, br := range res.Branches() {
+		if br.Prob < 0 || br.Prob > 1 {
+			t.Errorf("prob = %v", br.Prob)
+		}
+	}
+}

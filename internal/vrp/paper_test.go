@@ -1,0 +1,86 @@
+package vrp
+
+import (
+	"math"
+	"testing"
+
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/ssaform"
+)
+
+// compile builds an SSA program from source for tests.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.mini", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sem.Check(prog); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p, err := irgen.Build(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	if err := ssaform.Build(p); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	return p
+}
+
+func analyze(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	p := compile(t, src)
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+// paperExample is Figure 2 of the paper.
+const paperExample = `
+func main() {
+	var y = 0;
+	for (var x = 0; x < 10; x++) {
+		if (x > 7) { y = 1; } else { y = x; }
+		if (y == 1) {
+			print(y); // Block A
+		}
+	}
+}
+`
+
+// TestPaperExample reproduces Figure 4: branch probabilities 91%, 20%, 30%.
+func TestPaperExample(t *testing.T) {
+	res := analyze(t, paperExample, DefaultConfig())
+	probs := branchProbsInOrder(res)
+	if len(probs) != 3 {
+		t.Fatalf("expected 3 conditional branches, got %d: %v", len(probs), probs)
+	}
+	want := []float64{10.0 / 11.0, 0.2, 0.3} // x<10, x>7, y==1
+	for i, w := range want {
+		if math.Abs(probs[i]-w) > 0.005 {
+			t.Errorf("branch %d: predicted %.4f, paper says %.4f", i, probs[i], w)
+		}
+	}
+	for _, br := range res.Branches() {
+		if br.Source != ByRange {
+			t.Errorf("branch %s predicted by %v, want range", br.Instr, br.Source)
+		}
+	}
+}
+
+// branchProbsInOrder returns true-edge probabilities in block order of main.
+func branchProbsInOrder(res *Result) []float64 {
+	var out []float64
+	for _, br := range res.Branches() {
+		if br.Fn.Name == "main" {
+			out = append(out, br.Prob)
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package vrp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vrp/internal/interp"
+)
+
+// Differential soundness fuzzing: generate random (terminating) Mini
+// programs, analyze them, execute them, and check that
+//
+//   - analysis never errors and every probability is within [0,1];
+//   - any branch predicted 0 or 1 *from value ranges* behaves exactly
+//     that way at runtime (a range-based certainty is a soundness claim —
+//     "branches to unreachable code have a probability of 0", §6);
+//   - execution of the analyzed program never traps.
+//
+// The generator produces structured programs: constant-bounded for loops
+// (nesting ≤ 2), if/else over random integer expressions, scalar
+// assignments, array reads/writes with wrapped indices, and helper calls.
+
+type progGen struct {
+	r         *rand.Rand
+	b         strings.Builder
+	vars      []string
+	arrs      []string
+	protected map[string]bool // loop induction variables: read-only
+	indent    int
+	loops     int
+	stmts     int
+}
+
+// writable picks a random assignable variable, or "" if none.
+func (g *progGen) writable() string {
+	var cands []string
+	for _, v := range g.vars {
+		if !g.protected[v] {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.r.Intn(len(cands))]
+}
+
+func (g *progGen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// expr generates a random integer expression over declared variables.
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(41)-20)
+		case 1:
+			if len(g.vars) > 0 {
+				return g.vars[g.r.Intn(len(g.vars))]
+			}
+			return fmt.Sprintf("%d", g.r.Intn(10))
+		case 2:
+			return "input()"
+		default:
+			if len(g.arrs) > 0 {
+				a := g.arrs[g.r.Intn(len(g.arrs))]
+				return fmt.Sprintf("%s[(%s %% 8 + 8) %% 8]", a, g.expr(depth-1))
+			}
+			return fmt.Sprintf("%d", g.r.Intn(10))
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%"}
+	op := ops[g.r.Intn(len(ops))]
+	lhs := g.expr(depth - 1)
+	rhs := g.expr(depth - 1)
+	if op == "*" {
+		// Bound multiplications to avoid huge intermediate swings.
+		rhs = fmt.Sprintf("%d", g.r.Intn(7)-3)
+	}
+	return fmt.Sprintf("(%s %s %s)", lhs, op, rhs)
+}
+
+func (g *progGen) cond() string {
+	rels := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), rels[g.r.Intn(len(rels))], g.expr(1))
+}
+
+func (g *progGen) stmt(depth int) {
+	g.stmts++
+	if g.stmts > 60 {
+		return
+	}
+	switch g.r.Intn(8) {
+	case 0: // new scalar
+		name := fmt.Sprintf("v%d", len(g.vars))
+		g.w("var %s = %s;", name, g.expr(2))
+		g.vars = append(g.vars, name)
+	case 1, 2: // assignment (never to a loop induction variable)
+		v := g.writable()
+		if v == "" {
+			g.stmt(depth)
+			return
+		}
+		switch g.r.Intn(3) {
+		case 0:
+			g.w("%s = %s;", v, g.expr(2))
+		case 1:
+			g.w("%s += %s;", v, g.expr(1))
+		default:
+			g.w("%s++;", v)
+		}
+	case 3: // array store
+		if len(g.arrs) == 0 {
+			g.stmt(depth)
+			return
+		}
+		a := g.arrs[g.r.Intn(len(g.arrs))]
+		g.w("%s[(%s %% 8 + 8) %% 8] = %s;", a, g.expr(1), g.expr(1))
+	case 4: // if / if-else
+		if depth <= 0 {
+			g.w("print(%s);", g.expr(1))
+			return
+		}
+		g.w("if (%s) {", g.cond())
+		save := len(g.vars)
+		g.indent++
+		g.stmt(depth - 1)
+		g.indent--
+		g.vars = g.vars[:save]
+		if g.r.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.stmt(depth - 1)
+			g.indent--
+			g.vars = g.vars[:save]
+		}
+		g.w("}")
+	case 5: // bounded for loop
+		if depth <= 0 || g.loops >= 2 {
+			g.w("print(%s);", g.expr(1))
+			return
+		}
+		g.loops++
+		iv := fmt.Sprintf("i%d", g.loops)
+		bound := g.r.Intn(9) + 1
+		step := g.r.Intn(2) + 1
+		g.vars = append(g.vars, iv)
+		g.protected[iv] = true
+		g.w("for (var %s = 0; %s < %d; %s += %d) {", iv, iv, bound, iv, step)
+		save := len(g.vars)
+		g.indent++
+		n := g.r.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			g.stmt(depth - 1)
+		}
+		g.indent--
+		g.w("}")
+		g.vars = g.vars[:save-1] // drop body-scoped vars and the loop var
+		delete(g.protected, iv)
+		g.loops--
+	case 6: // print
+		g.w("print(%s);", g.expr(2))
+	default: // guarded early structure
+		if v := g.writable(); v != "" && g.r.Intn(2) == 0 {
+			g.w("if (%s < 0) { %s = -%s; }", v, v, v)
+		} else {
+			g.w("print(%s);", g.expr(1))
+		}
+	}
+}
+
+func generateProgram(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed)), protected: map[string]bool{}}
+	g.w("func helper(a, b) {")
+	g.indent++
+	g.w("if (a > b) { return a - b; }")
+	g.w("return b - a;")
+	g.indent--
+	g.w("}")
+	g.w("func main() {")
+	g.indent++
+	g.w("var arr0[8];")
+	g.arrs = append(g.arrs, "arr0")
+	g.w("var seed = helper(input(), 3);")
+	g.vars = append(g.vars, "seed")
+	n := g.r.Intn(8) + 4
+	for i := 0; i < n; i++ {
+		g.stmt(2)
+	}
+	g.w("print(seed);")
+	g.indent--
+	g.w("}")
+	return g.b.String()
+}
+
+func TestRandomProgramSoundness(t *testing.T) {
+	const programs = 400
+	for seed := int64(0); seed < programs; seed++ {
+		src := generateProgram(seed)
+		p := compile(t, src)
+		res, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v\n%s", seed, err, src)
+		}
+		for _, br := range res.Branches() {
+			if br.Prob < 0 || br.Prob > 1 {
+				t.Fatalf("seed %d: probability %f out of range\n%s", seed, br.Prob, src)
+			}
+		}
+
+		// Execute on a few random input streams.
+		inRng := rand.New(rand.NewSource(seed * 7779))
+		for trial := 0; trial < 3; trial++ {
+			input := make([]int64, 64)
+			for i := range input {
+				input[i] = int64(inRng.Intn(201) - 100)
+			}
+			prof, err := interp.Run(p, input, interp.Options{MaxSteps: 2_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+			}
+			// Soundness of certainties.
+			for _, br := range res.Branches() {
+				if br.Source != ByRange {
+					continue
+				}
+				obs, ran := prof.BranchProb(br.Fn, br.Instr)
+				if !ran {
+					continue
+				}
+				const eps = 1e-9
+				if br.Prob > 1-eps && obs != 1 {
+					t.Fatalf("seed %d: branch predicted always-taken but observed %.3f\n%s", seed, obs, src)
+				}
+				if br.Prob < eps && obs != 0 {
+					t.Fatalf("seed %d: branch predicted never-taken but observed %.3f\n%s", seed, obs, src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package vrp
+
+import "testing"
+
+// TestStatsBounded guards the engine's near-linear behaviour (§4): the
+// paper example is ~60 instructions and must settle within a small
+// constant factor of that in evaluations and visits.
+func TestStatsBounded(t *testing.T) {
+	res := analyze(t, paperExample, DefaultConfig())
+	if res.Stats.ExprEvals > 500 {
+		t.Errorf("ExprEvals = %d, expected < 500", res.Stats.ExprEvals)
+	}
+	if res.Stats.FlowVisits > 500 {
+		t.Errorf("FlowVisits = %d, expected < 500", res.Stats.FlowVisits)
+	}
+	if res.Stats.SubOps > 5000 {
+		t.Errorf("SubOps = %d, expected < 5000", res.Stats.SubOps)
+	}
+	if res.Stats.DerivedLoops == 0 {
+		t.Error("expected the loop φ to be derived")
+	}
+}

@@ -1,0 +1,418 @@
+// Package vrp implements the paper's primary contribution: value range
+// propagation over SSA form, producing a branch probability for every
+// conditional branch in the program (§3).
+//
+// The engine is the Wegman–Zadeck two-worklist propagator (FlowWorkList of
+// CFG edges + SSAWorkList of def-use edges) extended as §3.3 describes:
+// weighted range sets instead of constants, φ evaluation weighted by
+// in-edge probabilities, per-edge probabilities instead of executable
+// flags, and special handling of loop-carried expressions by derivation
+// template matching (§3.6). Interprocedural propagation uses jump
+// functions (§3.7): formal parameter values are the weighted merge of
+// actual argument ranges across call sites, and return ranges flow back to
+// call instructions.
+package vrp
+
+import (
+	"fmt"
+	"sort"
+
+	"vrp/internal/ir"
+	"vrp/internal/vrange"
+)
+
+// FallbackFunc supplies a heuristic probability for the true out-edge of a
+// conditional branch whose controlling range is ⊥ (§3.5: "heuristics
+// similar to those in [BallLarus93] must be used").
+type FallbackFunc func(f *ir.Func, br *ir.Instr) float64
+
+// Config controls an analysis run. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Range vrange.Config
+
+	// Derivation enables loop-carried derivation templates (§3.6). When
+	// off, loop ranges are found by brute-force propagation ("simply allow
+	// the propagation algorithm to determine the value range by executing
+	// the loop"), bounded by MaxEvals.
+	Derivation bool
+
+	// Interprocedural enables jump functions and return ranges (§3.7).
+	Interprocedural bool
+
+	// MaxPasses bounds the outer interprocedural fixpoint.
+	MaxPasses int
+
+	// MaxEvals is the per-instruction evaluation budget before the engine
+	// widens the result to ⊥ — the practical give-up point that keeps
+	// brute-force loop execution from dominating runtime.
+	MaxEvals int
+
+	// FlowFirst prefers the FlowWorkList when both lists are non-empty;
+	// the paper observes this "tends to cause information to be gathered
+	// more quickly" (§3.3 step 2).
+	FlowFirst bool
+
+	// Fallback predicts ⊥-controlled branches; nil means 0.5.
+	Fallback FallbackFunc
+
+	// FreqEpsilon is the relative change threshold under which an edge
+	// frequency update is not considered a change (termination control
+	// for the frequency feedback around loops).
+	FreqEpsilon float64
+
+	// MaxFreq caps edge frequencies (relative to one function entry).
+	MaxFreq float64
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		Range:           vrange.DefaultConfig(),
+		Derivation:      true,
+		Interprocedural: true,
+		MaxPasses:       8,
+		MaxEvals:        12,
+		FlowFirst:       true,
+		FreqEpsilon:     1e-4,
+		MaxFreq:         1e6,
+	}
+}
+
+// Stats instruments the engine for the paper's Figures 5 and 6.
+type Stats struct {
+	ExprEvals     int64 // expression evaluations (Figure 5)
+	SubOps        int64 // evaluation sub-operations (Figure 6)
+	PhiEvals      int64
+	FlowVisits    int64
+	DerivedLoops  int64
+	FailedDerives int64
+	Passes        int
+}
+
+// PredictionSource says how a branch probability was obtained.
+type PredictionSource int
+
+// Prediction sources.
+const (
+	ByRange     PredictionSource = iota // from the variable's value range
+	ByHeuristic                         // fallback (controlling range was ⊥)
+	ByDefault                           // never evaluated (unreachable or ⊤)
+)
+
+func (s PredictionSource) String() string {
+	switch s {
+	case ByRange:
+		return "range"
+	case ByHeuristic:
+		return "heuristic"
+	}
+	return "default"
+}
+
+// Branch is one conditional branch's prediction.
+type Branch struct {
+	Fn     *ir.Func
+	Instr  *ir.Instr // the OpBr
+	Prob   float64   // probability of the true out-edge
+	Source PredictionSource
+}
+
+// FuncResult holds per-function analysis output.
+type FuncResult struct {
+	Fn  *ir.Func
+	Val []vrange.Value // per register
+
+	// EdgeFreq is the expected executions of each edge per invocation of
+	// the function (entry = 1); Edge.ID-indexed.
+	EdgeFreq []float64
+
+	// BranchProb maps each OpBr to its true-edge probability.
+	BranchProb map[*ir.Instr]float64
+	// BranchSource records how each probability was obtained.
+	BranchSource map[*ir.Instr]PredictionSource
+}
+
+// Result is a whole-program analysis result.
+type Result struct {
+	Prog  *ir.Program
+	Funcs map[*ir.Func]*FuncResult
+	Stats Stats
+}
+
+// Branches returns every conditional branch prediction in deterministic
+// order (function order, block order).
+func (r *Result) Branches() []Branch {
+	var out []Branch
+	for _, f := range r.Prog.Funcs {
+		fr := r.Funcs[f]
+		if fr == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			p, ok := fr.BranchProb[t]
+			src := fr.BranchSource[t]
+			if !ok {
+				p, src = 0.5, ByDefault
+			}
+			out = append(out, Branch{Fn: f, Instr: t, Prob: p, Source: src})
+		}
+	}
+	return out
+}
+
+// Analyze runs value range propagation over an SSA-form program.
+func Analyze(p *ir.Program, cfg Config) (*Result, error) {
+	for _, f := range p.Funcs {
+		if !f.SSA {
+			return nil, fmt.Errorf("vrp: function %s is not in SSA form", f.Name)
+		}
+	}
+	res := &Result{Prog: p, Funcs: map[*ir.Func]*FuncResult{}}
+	calc := vrange.NewCalc(cfg.Range)
+
+	ip := newInterproc(p, cfg)
+	order := callOrder(p)
+
+	passes := cfg.MaxPasses
+	if !cfg.Interprocedural || passes < 1 {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		res.Stats.Passes++
+		changed := false
+		for _, f := range order {
+			eng := newEngine(f, cfg, calc, ip)
+			eng.run()
+			fr := eng.result()
+			res.Funcs[f] = fr
+			res.Stats.ExprEvals += eng.stats.ExprEvals
+			res.Stats.PhiEvals += eng.stats.PhiEvals
+			res.Stats.FlowVisits += eng.stats.FlowVisits
+			res.Stats.DerivedLoops += eng.stats.DerivedLoops
+			res.Stats.FailedDerives += eng.stats.FailedDerives
+			if ip.update(f, eng) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Stats.SubOps = calc.SubOps
+	return res, nil
+}
+
+// callOrder returns functions roughly callers-before-callees starting at
+// main, so parameter seeds are available early; unreached functions come
+// last in name order.
+func callOrder(p *ir.Program) []*ir.Func {
+	var order []*ir.Func
+	seen := map[*ir.Func]bool{}
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if f == nil || seen[f] {
+			return
+		}
+		seen[f] = true
+		order = append(order, f)
+		// Callees in first-call order.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					visit(p.ByName[in.Callee])
+				}
+			}
+		}
+	}
+	visit(p.Main())
+	rest := make([]*ir.Func, 0)
+	for _, f := range p.Funcs {
+		if !seen[f] {
+			rest = append(rest, f)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+	return append(order, rest...)
+}
+
+// ------------------------------------------------------ interprocedural
+
+// interproc holds cross-function state: per-caller jump functions for each
+// callee's formals, and return ranges. Formal parameter values are
+// recomputed on demand as the weighted merge over callers, so the tables
+// converge deterministically across passes.
+type interproc struct {
+	cfg  Config
+	calc *vrange.Calc
+	prog *ir.Program
+
+	// args[callee][caller] is the caller's contribution: one merged value
+	// per formal, plus the caller's total call frequency into callee.
+	args    map[*ir.Func]map[*ir.Func]*callerArgs
+	retVals map[*ir.Func]vrange.Value // merged return ranges
+}
+
+type callerArgs struct {
+	vals []vrange.Value
+	w    float64
+}
+
+func newInterproc(p *ir.Program, cfg Config) *interproc {
+	ip := &interproc{
+		cfg:     cfg,
+		calc:    vrange.NewCalc(cfg.Range),
+		prog:    p,
+		args:    map[*ir.Func]map[*ir.Func]*callerArgs{},
+		retVals: map[*ir.Func]vrange.Value{},
+	}
+	for _, f := range p.Funcs {
+		ip.args[f] = map[*ir.Func]*callerArgs{}
+		if cfg.Interprocedural {
+			ip.retVals[f] = vrange.TopValue()
+		} else {
+			ip.retVals[f] = vrange.BottomValue()
+		}
+	}
+	return ip
+}
+
+// paramValue returns the current value of formal #idx of f: the weighted
+// merge of the jump functions at the known call sites. With no recorded
+// caller yet it is ⊤ in interprocedural mode (optimistic: unreached so
+// far), ⊥ otherwise. main's parameters are always ⊥ (program inputs).
+func (ip *interproc) paramValue(f *ir.Func, idx int) vrange.Value {
+	if !ip.cfg.Interprocedural || f.Name == "main" {
+		return vrange.BottomValue()
+	}
+	callers := ip.args[f]
+	if len(callers) == 0 {
+		return vrange.TopValue()
+	}
+	items := make([]vrange.Weighted, 0, len(callers))
+	for _, ca := range callers {
+		if idx < len(ca.vals) {
+			items = append(items, vrange.Weighted{Val: ca.vals[idx], W: ca.w})
+		}
+	}
+	return ip.calc.Merge(items)
+}
+
+// returnValue returns the current return range of callee.
+func (ip *interproc) returnValue(callee *ir.Func) vrange.Value {
+	if v, ok := ip.retVals[callee]; ok {
+		return v
+	}
+	return vrange.BottomValue()
+}
+
+// sanitize strips caller-local symbolic bounds from a value crossing a
+// function boundary: the representation's ancestor variables are SSA names
+// of a single function.
+func sanitize(v vrange.Value) vrange.Value {
+	if v.Kind() != vrange.Set {
+		return v
+	}
+	for _, r := range v.Ranges {
+		if !r.Lo.IsNum() || !r.Hi.IsNum() {
+			return vrange.BottomValue()
+		}
+	}
+	return v
+}
+
+// update folds one engine run back into the interprocedural tables; it
+// reports whether anything lowered (another pass is needed).
+func (ip *interproc) update(f *ir.Func, eng *engine) bool {
+	if !ip.cfg.Interprocedural {
+		return false
+	}
+	changed := false
+
+	// Return range of f.
+	var items []vrange.Weighted
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpRet || t.A == ir.None {
+			continue
+		}
+		w := eng.blockFreq(b)
+		if w <= 0 {
+			continue
+		}
+		items = append(items, vrange.Weighted{Val: sanitize(eng.val[t.A]), W: w})
+	}
+	newRet := eng.calc.Merge(items)
+	if !newRet.Equal(ip.retVals[f]) {
+		ip.retVals[f] = newRet
+		changed = true
+	}
+
+	// Jump functions: actual argument values at every call site in f,
+	// weighted by call-site frequency, merged per callee.
+	type argAcc struct {
+		items [][]vrange.Weighted
+		w     float64
+	}
+	accs := map[*ir.Func]*argAcc{}
+	for _, b := range f.Blocks {
+		w := eng.blockFreq(b)
+		if w <= 0 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := eng.prog().ByName[in.Callee]
+			if callee == nil {
+				continue
+			}
+			acc := accs[callee]
+			if acc == nil {
+				acc = &argAcc{items: make([][]vrange.Weighted, len(callee.Params))}
+				accs[callee] = acc
+			}
+			acc.w += w
+			for i := range callee.Params {
+				var av vrange.Value = vrange.BottomValue()
+				if i < len(in.Args) {
+					av = sanitize(eng.val[in.Args[i]])
+				}
+				acc.items[i] = append(acc.items[i], vrange.Weighted{Val: av, W: w})
+			}
+		}
+	}
+	for callee, acc := range accs {
+		ca := &callerArgs{vals: make([]vrange.Value, len(acc.items)), w: acc.w}
+		for i := range acc.items {
+			ca.vals[i] = eng.calc.Merge(acc.items[i])
+		}
+		prev := ip.args[callee][f]
+		if prev == nil || !sameArgs(prev, ca) {
+			ip.args[callee][f] = ca
+			changed = true
+		}
+	}
+	return changed
+}
+
+func sameArgs(a, b *callerArgs) bool {
+	if len(a.vals) != len(b.vals) {
+		return false
+	}
+	const wEps = 1e-6
+	if a.w-b.w > wEps || b.w-a.w > wEps {
+		return false
+	}
+	for i := range a.vals {
+		if !a.vals[i].Equal(b.vals[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+// Package vrp is a from-scratch reproduction of "Accurate Static Branch
+// Prediction by Value Range Propagation" (Jason R. C. Patterson, PLDI
+// 1995). It compiles programs in the Mini language to SSA form, runs value
+// range propagation over them, and reports a probability for every
+// conditional branch.
+//
+// The public API is a thin facade over the internal packages:
+//
+//	prog, err := vrp.Compile("demo.mini", src)
+//	analysis, err := prog.Analyze()
+//	for _, p := range analysis.Predictions() { ... }
+//
+// Programs can also be executed (with edge profiling) for ground truth or
+// profile-based prediction:
+//
+//	profile, err := prog.Run([]int64{...inputs...})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package vrp
+
+import (
+	"fmt"
+
+	"vrp/internal/ast"
+	"vrp/internal/freq"
+	"vrp/internal/heuristics"
+	"vrp/internal/interp"
+	"vrp/internal/ir"
+	"vrp/internal/irgen"
+	"vrp/internal/parser"
+	"vrp/internal/sem"
+	"vrp/internal/source"
+	"vrp/internal/ssaform"
+	corevrp "vrp/internal/vrp"
+)
+
+// Program is a compiled Mini program in SSA form, ready for analysis or
+// execution.
+type Program struct {
+	AST *ast.Program
+	IR  *ir.Program
+}
+
+// CompileOptions controls compilation.
+type CompileOptions struct {
+	// NoAssertions disables π-insertion (ablation; see DESIGN.md §5).
+	NoAssertions bool
+}
+
+// Compile parses, checks, lowers and SSA-converts src.
+func Compile(name, src string) (*Program, error) {
+	return CompileWith(name, src, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(name, src string, opts CompileOptions) (*Program, error) {
+	astProg, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := sem.Check(astProg); err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	irProg, err := irgen.Build(astProg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ssaform.BuildWith(irProg, ssaform.Options{NoAssertions: opts.NoAssertions}); err != nil {
+		return nil, err
+	}
+	return &Program{AST: astProg, IR: irProg}, nil
+}
+
+// Run executes the program on an input stream, collecting an edge profile.
+func (p *Program) Run(input []int64) (*interp.Profile, error) {
+	return interp.Run(p.IR, input, interp.Options{})
+}
+
+// RunWith executes with explicit resource limits.
+func (p *Program) RunWith(input []int64, opts interp.Options) (*interp.Profile, error) {
+	return interp.Run(p.IR, input, opts)
+}
+
+// EngineConfig aliases the engine configuration so callers can write
+// custom Options without importing the internal package.
+type EngineConfig = corevrp.Config
+
+// Option configures an analysis.
+type Option func(*EngineConfig)
+
+// NumericOnly disables symbolic ranges, reproducing the paper's "numeric
+// ranges only" curves.
+func NumericOnly() Option {
+	return func(c *corevrp.Config) { c.Range.Symbolic = false }
+}
+
+// WithoutDerivation disables loop-carried derivation templates (§3.6
+// ablation): loops are handled by brute-force propagation.
+func WithoutDerivation() Option {
+	return func(c *corevrp.Config) { c.Derivation = false }
+}
+
+// WithoutInterprocedural disables jump functions (§3.7 ablation).
+func WithoutInterprocedural() Option {
+	return func(c *corevrp.Config) { c.Interprocedural = false }
+}
+
+// WithMaxRanges overrides the per-variable range budget (paper default 4).
+func WithMaxRanges(n int) Option {
+	return func(c *corevrp.Config) { c.Range.MaxRanges = n }
+}
+
+// WithAssumedMagnitude overrides the magnitude substituted for unknown
+// symbolic variables when a probability needs a concrete count (paper-scale
+// default 10, giving the familiar 91% loop prediction).
+func WithAssumedMagnitude(t int64) Option {
+	return func(c *corevrp.Config) { c.Range.AssumedVarValue = t }
+}
+
+// WithMaxEvals overrides the per-instruction structural-change budget
+// before brute-force loop propagation widens to ⊥ (default 12).
+func WithMaxEvals(n int) Option {
+	return func(c *corevrp.Config) { c.MaxEvals = n }
+}
+
+// WithFallback overrides the heuristic used for ⊥-controlled branches.
+// The default is the Ball–Larus predictor.
+func WithFallback(fb corevrp.FallbackFunc) Option {
+	return func(c *corevrp.Config) { c.Fallback = fb }
+}
+
+// WithConfig replaces the whole configuration (escape hatch; later options
+// still apply on top).
+func WithConfig(cfg corevrp.Config) Option {
+	return func(c *corevrp.Config) { *c = cfg }
+}
+
+// ApplyProcedureCloning duplicates functions called in significantly
+// different constant contexts (§3.7), transforming the program in place.
+// Run it before Analyze and Run; both then see the specialised program.
+func (p *Program) ApplyProcedureCloning() *corevrp.CloneReport {
+	return corevrp.CloneProcedures(p.IR, corevrp.DefaultCloneOptions())
+}
+
+// Analysis is the result of value range propagation over a Program.
+type Analysis struct {
+	Result *corevrp.Result
+	prog   *Program
+}
+
+// Analyze runs value range propagation. By default the configuration is
+// paper-faithful: symbolic ranges on, four ranges per variable, derivation
+// and interprocedural propagation enabled, Ball–Larus fallback.
+func (p *Program) Analyze(opts ...Option) (*Analysis, error) {
+	cfg := corevrp.DefaultConfig()
+	bl := heuristics.NewBallLarus(p.IR)
+	cfg.Fallback = bl.Prob
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := corevrp.Analyze(p.IR, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Result: res, prog: p}, nil
+}
+
+// Prediction is one conditional branch's predicted behaviour.
+type Prediction struct {
+	Func   string
+	Pos    source.Pos // position of the controlling expression
+	Prob   float64    // probability of the true out-edge
+	Source string     // "range", "heuristic" or "default"
+
+	Branch *ir.Instr // the underlying branch instruction
+	Fn     *ir.Func
+}
+
+// Predictions returns every conditional branch prediction in program
+// order.
+func (a *Analysis) Predictions() []Prediction {
+	var out []Prediction
+	for _, br := range a.Result.Branches() {
+		out = append(out, Prediction{
+			Func:   br.Fn.Name,
+			Pos:    br.Instr.Pos,
+			Prob:   br.Prob,
+			Source: br.Source.String(),
+			Branch: br.Instr,
+			Fn:     br.Fn,
+		})
+	}
+	return out
+}
+
+// Frequencies solves whole-program expected execution counts from the
+// branch predictions (§6's frequency applications): function invocation
+// counts, absolute block frequencies, hot-function ordering and inlining
+// candidates.
+func (a *Analysis) Frequencies() *freq.ProgramFrequencies {
+	return freq.ComputeProgram(a.prog.IR, func(f *ir.Func, br *ir.Instr) (float64, bool) {
+		fr := a.Result.Funcs[f]
+		if fr == nil {
+			return 0, false
+		}
+		p, ok := fr.BranchProb[br]
+		return p, ok
+	})
+}
+
+// ValueString renders the final value range of the named source variable's
+// version (e.g. "x.1") in function fn, in the paper's notation; ok is
+// false if no such variable exists.
+func (a *Analysis) ValueString(fn, varName string) (string, bool) {
+	f := a.prog.IR.ByName[fn]
+	if f == nil {
+		return "", false
+	}
+	fr := a.Result.Funcs[f]
+	if fr == nil {
+		return "", false
+	}
+	for r, n := range f.Names {
+		if n == varName && int(r) < len(fr.Val) {
+			return fr.Val[r].Format(func(rr ir.Reg) string {
+				if nn, ok := f.Names[rr]; ok {
+					return nn
+				}
+				return fmt.Sprintf("r%d", rr)
+			}), true
+		}
+	}
+	return "", false
+}
