@@ -1,0 +1,25 @@
+# Development targets. `make check` is the CI gate: vet plus the full test
+# suite under the race detector (the analysis driver is parallel by
+# default, so every test doubles as a race test).
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Machine-readable driver benchmark: writes BENCH_driver.json.
+bench:
+	$(GO) run ./cmd/vrpbench -bench

@@ -12,12 +12,15 @@
 //	vrpbench -summary   §5 headline numbers
 //	vrpbench -apps      §6 applications
 //	vrpbench -ablations DESIGN.md §5 ablation table
+//	vrpbench -bench     machine-readable driver benchmark (BENCH_driver.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vrp"
 	"vrp/internal/bench"
@@ -30,12 +33,17 @@ func main() {
 		summary   = flag.Bool("summary", false, "print the §5 summary only")
 		apps      = flag.Bool("apps", false, "print the §6 applications only")
 		ablations = flag.Bool("ablations", false, "print the ablation table only")
+		benchMode = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
+		benchOut  = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
+		benchIter = flag.Int("benchiter", 5, "timing iterations per -bench point")
 	)
 	flag.Parse()
 	w := os.Stdout
 
 	var err error
 	switch {
+	case *benchMode:
+		err = runDriverBench(w, *benchOut, *benchIter)
 	case *summary:
 		err = bench.PrintSummary(w)
 		if err == nil {
@@ -83,6 +91,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vrpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// driverBenchReport is the machine-readable result of -bench: the
+// parallel-vs-sequential scaling curve of the analysis driver, plus the
+// dirty-set work-skipping counters.
+type driverBenchReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Points     []bench.DriverPoint `json:"points"`
+}
+
+func runDriverBench(w *os.File, outPath string, iters int) error {
+	pts, err := bench.DriverScaling(bench.ScaledSizes, iters)
+	if err != nil {
+		return err
+	}
+	rep := driverBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Points: pts}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "driver benchmark (%d workers), best of %d:\n", rep.GOMAXPROCS, iters)
+	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s\n",
+		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d\n",
+			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped)
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
 }
 
 // printFig4 reproduces the paper's worked example (Figures 2-4): the value

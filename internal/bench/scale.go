@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"vrp"
 	"vrp/internal/corpus"
@@ -98,6 +99,89 @@ func ScaledPoints(subOps bool) ([]Point, error) {
 		}
 	}
 	return pts, nil
+}
+
+// DriverPoint is one measurement of the parallel incremental driver
+// against the sequential schedule on a merged program.
+type DriverPoint struct {
+	Name     string  `json:"name"`
+	Instrs   int     `json:"instrs"`
+	Funcs    int     `json:"funcs"`
+	SeqNsOp  int64   `json:"seq_ns_per_op"`
+	ParNsOp  int64   `json:"par_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+	Passes   int     `json:"passes"`
+	Analyzed int64   `json:"funcs_analyzed"`
+	Skipped  int64   `json:"funcs_skipped"`
+}
+
+// DriverScaling times the analysis of merged corpus programs of growing
+// size under Workers: 1 (sequential) and Workers: 0 (one per CPU),
+// reporting the best of iters runs each. Both schedules produce
+// bit-identical results; the dirty-set counters come from the parallel
+// run (they are identical for both by construction).
+func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	all := corpus.All()
+	var pts []DriverPoint
+	for _, k := range sizes {
+		if k > len(all) {
+			k = len(all)
+		}
+		mp, err := mergedProgram(all[:k])
+		if err != nil {
+			return nil, err
+		}
+		seqCfg := defaultEngineConfig(mp)
+		seqCfg.Workers = 1
+		parCfg := defaultEngineConfig(mp)
+		parCfg.Workers = 0
+		seqNs, err := timeAnalyze(mp, seqCfg, iters)
+		if err != nil {
+			return nil, err
+		}
+		parNs, err := timeAnalyze(mp, parCfg, iters)
+		if err != nil {
+			return nil, err
+		}
+		res, err := corevrp.Analyze(mp, parCfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, DriverPoint{
+			Name:     fmt.Sprintf("merged-%d", k),
+			Instrs:   mp.NumInstrs(),
+			Funcs:    len(mp.Funcs),
+			SeqNsOp:  seqNs,
+			ParNsOp:  parNs,
+			Speedup:  float64(seqNs) / float64(parNs),
+			Passes:   res.Stats.Passes,
+			Analyzed: res.Stats.FuncsAnalyzed,
+			Skipped:  res.Stats.FuncsSkipped,
+		})
+		if k == len(all) {
+			break
+		}
+	}
+	return pts, nil
+}
+
+// timeAnalyze returns the best wall-clock of iters Analyze runs.
+func timeAnalyze(p *ir.Program, cfg corevrp.Config, iters int) (int64, error) {
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := corevrp.Analyze(p, cfg); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
 }
 
 func defaultEngineConfig(p *ir.Program) corevrp.Config {

@@ -1,0 +1,79 @@
+package vrange
+
+import "math"
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hasher accumulates a canonical 64-bit FNV-1a hash over Values. The
+// analysis driver fingerprints each function's interprocedural inputs
+// (formal-parameter merges and consulted callee return ranges) with one
+// Hasher so an unchanged input vector can skip re-analysis.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns a Hasher in its initial state.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+func (s *Hasher) word(w uint64) {
+	for i := 0; i < 8; i++ {
+		s.h ^= w & 0xff
+		s.h *= fnvPrime
+		w >>= 8
+	}
+}
+
+// Add folds one Value into the hash. The encoding is canonical for
+// canonicalized values: kind, range count, then every range's probability
+// bit pattern, bounds and stride. Two Values hash equal whenever BitEqual
+// reports them equal.
+func (s *Hasher) Add(v Value) {
+	s.word(uint64(v.kind))
+	s.word(uint64(len(v.Ranges)))
+	for _, r := range v.Ranges {
+		s.word(math.Float64bits(r.Prob))
+		s.word(uint64(int64(r.Lo.Var)))
+		s.word(uint64(r.Lo.Const))
+		s.word(uint64(int64(r.Hi.Var)))
+		s.word(uint64(r.Hi.Const))
+		s.word(uint64(r.Stride))
+	}
+}
+
+// Sum returns the accumulated hash.
+func (s *Hasher) Sum() uint64 { return s.h }
+
+// Fingerprint returns the canonical hash of a single value.
+func (v Value) Fingerprint() uint64 {
+	h := NewHasher()
+	h.Add(v)
+	return h.Sum()
+}
+
+// BitEqual reports exact structural equality: same kind, same ranges, and
+// bit-identical probabilities. It is stricter than Equal (which tolerates
+// probability drift below 1e-9); the driver's dirty-set test must be exact
+// so that skipping a re-analysis provably cannot change any output bit.
+func (v Value) BitEqual(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	if v.kind != Set {
+		return true
+	}
+	if len(v.Ranges) != len(o.Ranges) {
+		return false
+	}
+	for i := range v.Ranges {
+		a, b := v.Ranges[i], o.Ranges[i]
+		if a.Lo != b.Lo || a.Hi != b.Hi || a.Stride != b.Stride ||
+			math.Float64bits(a.Prob) != math.Float64bits(b.Prob) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package vrange
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+)
+
+func TestFingerprintBasic(t *testing.T) {
+	vals := []Value{
+		TopValue(),
+		BottomValue(),
+		Infeasible(),
+		Const(0),
+		Const(1),
+		Const(-1),
+		Symbolic(ir.Reg(3)),
+		Symbolic(ir.Reg(4)),
+		FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Num(9), Stride: 1}),
+		FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Num(9), Stride: 3}),
+		FromRanges(Range{Prob: 0.5, Lo: Num(0), Hi: Num(9), Stride: 1},
+			Range{Prob: 0.5, Lo: Num(20), Hi: Num(20), Stride: 0}),
+		FromRanges(Range{Prob: 0.25, Lo: Num(0), Hi: Num(9), Stride: 1},
+			Range{Prob: 0.75, Lo: Num(20), Hi: Num(20), Stride: 0}),
+	}
+	seen := map[uint64]int{}
+	for i, v := range vals {
+		fp := v.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("values %d and %d collide: %v vs %v", i, j, vals[j], v)
+		}
+		seen[fp] = i
+		if fp != v.Fingerprint() {
+			t.Errorf("fingerprint of %v not stable", v)
+		}
+		if !v.BitEqual(v) {
+			t.Errorf("%v not BitEqual to itself", v)
+		}
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if (i == j) != a.BitEqual(b) {
+				t.Errorf("BitEqual(%v, %v) = %v", a, b, i == j)
+			}
+		}
+	}
+}
+
+// Equal tolerates sub-1e-9 probability drift; BitEqual and Fingerprint must
+// not, because the dirty set requires provably identical re-runs.
+func TestBitEqualStricterThanEqual(t *testing.T) {
+	a := FromRanges(Range{Prob: 0.5, Lo: Num(0), Hi: Num(1), Stride: 1},
+		Range{Prob: 0.5, Lo: Num(5), Hi: Num(5), Stride: 0})
+	b := FromRanges(Range{Prob: 0.5 + 1e-12, Lo: Num(0), Hi: Num(1), Stride: 1},
+		Range{Prob: 0.5 - 1e-12, Lo: Num(5), Hi: Num(5), Stride: 0})
+	if !a.Equal(b) {
+		t.Fatal("expected Equal within tolerance")
+	}
+	if a.BitEqual(b) {
+		t.Error("BitEqual must reject drifted probabilities")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("Fingerprint must distinguish drifted probabilities")
+	}
+}
+
+func TestHasherOrderSensitive(t *testing.T) {
+	h1, h2 := NewHasher(), NewHasher()
+	h1.Add(Const(1))
+	h1.Add(Const(2))
+	h2.Add(Const(2))
+	h2.Add(Const(1))
+	if h1.Sum() == h2.Sum() {
+		t.Error("hash must be order sensitive (input vectors are positional)")
+	}
+}

@@ -1,0 +1,279 @@
+package vrp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vrp/internal/callgraph"
+	"vrp/internal/ir"
+	"vrp/internal/vrange"
+)
+
+// The analysis driver runs the §3.7 interprocedural fixpoint as a
+// parallel, incremental, work-skipping schedule:
+//
+//   - Each pass walks the call graph condensation in topological *waves*
+//     (callgraph.Graph.Waves). SCCs within one wave are pairwise
+//     call-independent, so their functions are analyzed concurrently on a
+//     bounded worker pool; mutually recursive functions (one SCC) are
+//     analyzed sequentially inside their task, in call order.
+//   - Before a function runs, its interprocedural inputs — the merged
+//     formal-parameter values and the return ranges of its known callees —
+//     are frozen into a funcInputs snapshot. The engine reads only the
+//     snapshot, never live shared state, which is what makes wave
+//     parallelism race-free by construction.
+//   - The snapshot is fingerprinted (vrange.Hasher). If a function's input
+//     vector is bit-identical to the one of its previous engine run, the
+//     run is skipped and the prior FuncResult reused: the engine is a
+//     deterministic function of its inputs, so skipping provably cannot
+//     change any output bit. On fixpoints that converge early, later
+//     passes skip almost everything (Stats.FuncsSkipped).
+//
+// Determinism: task outputs go to per-function slots, merges iterate in
+// fixed index order, and stats are merged with atomics — so Workers: 8 is
+// bit-identical to Workers: 1, and Stats.SubOps/ExprEvals stay exact.
+
+// funcInputs freezes one function's interprocedural inputs for one engine
+// run (or one skip decision).
+type funcInputs struct {
+	params []vrange.Value            // merged formal-parameter values
+	rets   map[*ir.Func]vrange.Value // return range of every known callee
+	vec    []vrange.Value            // canonical vector: params, then callee returns in callee-index order
+	hash   uint64                    // vrange.Hasher over vec
+}
+
+// param returns the value of formal #i; a formal no caller has supplied is
+// ⊤ (the merge of nothing — optimistic, as in paramValue).
+func (in *funcInputs) param(i int) vrange.Value {
+	if i >= 0 && i < len(in.params) {
+		return in.params[i]
+	}
+	return vrange.TopValue()
+}
+
+// ret returns the frozen return range of a known callee.
+func (in *funcInputs) ret(callee *ir.Func) vrange.Value {
+	if v, ok := in.rets[callee]; ok {
+		return v
+	}
+	return vrange.BottomValue()
+}
+
+// statCounters accumulates engine statistics; tasks fold local copies into
+// the driver's shared instance with atomics.
+type statCounters struct {
+	exprEvals     int64
+	phiEvals      int64
+	flowVisits    int64
+	derivedLoops  int64
+	failedDerives int64
+	subOps        int64
+	funcsAnalyzed int64
+	funcsSkipped  int64
+}
+
+func (s *statCounters) addAtomic(l *statCounters) {
+	atomic.AddInt64(&s.exprEvals, l.exprEvals)
+	atomic.AddInt64(&s.phiEvals, l.phiEvals)
+	atomic.AddInt64(&s.flowVisits, l.flowVisits)
+	atomic.AddInt64(&s.derivedLoops, l.derivedLoops)
+	atomic.AddInt64(&s.failedDerives, l.failedDerives)
+	atomic.AddInt64(&s.subOps, l.subOps)
+	atomic.AddInt64(&s.funcsAnalyzed, l.funcsAnalyzed)
+	atomic.AddInt64(&s.funcsSkipped, l.funcsSkipped)
+}
+
+type driver struct {
+	prog    *ir.Program
+	cfg     Config
+	cg      *callgraph.Graph
+	ip      *interproc
+	workers int
+
+	results []*FuncResult    // function index → latest FuncResult
+	prevIn  [][]vrange.Value // function index → input vector of the last engine run (nil: never ran)
+	prevFP  []uint64         // fingerprint of prevIn
+
+	// sccFuncs orders each SCC's members by callOrder position, so
+	// mutually recursive functions are analyzed callers-roughly-first
+	// exactly as the classic sequential driver did.
+	sccFuncs [][]int
+
+	stats   statCounters
+	changed atomic.Bool
+}
+
+func newDriver(p *ir.Program, cfg Config) *driver {
+	cg := callgraph.Build(p)
+	n := cg.NumFuncs()
+	d := &driver{
+		prog:    p,
+		cfg:     cfg,
+		cg:      cg,
+		ip:      newInterproc(p, cfg, cg),
+		workers: cfg.Workers,
+		results: make([]*FuncResult, n),
+		prevIn:  make([][]vrange.Value, n),
+		prevFP:  make([]uint64, n),
+	}
+	if d.workers <= 0 {
+		d.workers = runtime.GOMAXPROCS(0)
+	}
+	pos := make([]int, n)
+	for i, f := range callOrder(p) {
+		pos[cg.Index[f]] = i
+	}
+	d.sccFuncs = make([][]int, len(cg.SCCs))
+	for s, members := range cg.SCCs {
+		ms := append([]int(nil), members...)
+		sort.Slice(ms, func(a, b int) bool { return pos[ms[a]] < pos[ms[b]] })
+		d.sccFuncs[s] = ms
+	}
+	return d
+}
+
+// run drives the outer fixpoint to convergence (or MaxPasses).
+func (d *driver) run() *Result {
+	res := &Result{Prog: d.prog, Funcs: make(map[*ir.Func]*FuncResult, len(d.prog.Funcs))}
+	passes := d.cfg.MaxPasses
+	if !d.cfg.Interprocedural || passes < 1 {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		res.Stats.Passes++
+		d.changed.Store(false)
+		for _, wave := range d.cg.Waves {
+			d.runWave(wave)
+		}
+		if !d.changed.Load() {
+			break
+		}
+	}
+	for i, f := range d.cg.Funcs {
+		res.Funcs[f] = d.results[i]
+	}
+	res.Stats.ExprEvals = d.stats.exprEvals
+	res.Stats.PhiEvals = d.stats.phiEvals
+	res.Stats.FlowVisits = d.stats.flowVisits
+	res.Stats.DerivedLoops = d.stats.derivedLoops
+	res.Stats.FailedDerives = d.stats.failedDerives
+	res.Stats.SubOps = d.stats.subOps
+	res.Stats.FuncsAnalyzed = d.stats.funcsAnalyzed
+	res.Stats.FuncsSkipped = d.stats.funcsSkipped
+	return res
+}
+
+// runWave analyzes every SCC of one wave, concurrently when the pool and
+// the wave allow it.
+func (d *driver) runWave(wave []int) {
+	nw := d.workers
+	if nw > len(wave) {
+		nw = len(wave)
+	}
+	if nw <= 1 {
+		for _, scc := range wave {
+			d.runSCC(scc)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(wave) {
+					return
+				}
+				d.runSCC(wave[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runSCC analyzes one SCC's functions sequentially (mutual recursion needs
+// each member to observe the previous member's update within the pass),
+// with a per-task calc so sub-operation counts merge exactly.
+func (d *driver) runSCC(scc int) {
+	var local statCounters
+	changed := false
+	for _, fi := range d.sccFuncs[scc] {
+		calc := vrange.NewCalc(d.cfg.Range)
+		in := d.computeInputs(fi, calc)
+		if !d.cfg.noSkip && d.results[fi] != nil && d.prevIn[fi] != nil &&
+			in.hash == d.prevFP[fi] && bitEqualVec(in.vec, d.prevIn[fi]) {
+			// Clean: the previous run saw bit-identical inputs, so a re-run
+			// would reproduce the stored result and table updates exactly.
+			local.funcsSkipped++
+			local.subOps += calc.SubOps
+			continue
+		}
+		eng := newEngine(d.cg.Funcs[fi], d.cfg, calc, d.prog, in)
+		eng.run()
+		d.results[fi] = eng.result()
+		if d.ip.update(fi, eng) {
+			changed = true
+		}
+		d.prevIn[fi] = in.vec
+		d.prevFP[fi] = in.hash
+		local.funcsAnalyzed++
+		local.exprEvals += eng.stats.ExprEvals
+		local.phiEvals += eng.stats.PhiEvals
+		local.flowVisits += eng.stats.FlowVisits
+		local.derivedLoops += eng.stats.DerivedLoops
+		local.failedDerives += eng.stats.FailedDerives
+		local.subOps += calc.SubOps
+	}
+	d.stats.addAtomic(&local)
+	if changed {
+		d.changed.Store(true)
+	}
+}
+
+// computeInputs snapshots fi's interprocedural inputs and fingerprints
+// them. Merge sub-operations accrue to calc.
+func (d *driver) computeInputs(fi int, calc *vrange.Calc) *funcInputs {
+	f := d.cg.Funcs[fi]
+	callees := d.cg.Callees[fi]
+	in := &funcInputs{
+		params: make([]vrange.Value, len(f.Params)),
+		vec:    make([]vrange.Value, 0, len(f.Params)+len(callees)),
+	}
+	for i := range in.params {
+		in.params[i] = d.ip.paramValue(fi, i, calc)
+	}
+	in.vec = append(in.vec, in.params...)
+	if len(callees) > 0 {
+		in.rets = make(map[*ir.Func]vrange.Value, len(callees))
+		for _, ci := range callees {
+			rv := d.ip.returnValue(ci)
+			in.rets[d.cg.Funcs[ci]] = rv
+			in.vec = append(in.vec, rv)
+		}
+	}
+	h := vrange.NewHasher()
+	for _, v := range in.vec {
+		h.Add(v)
+	}
+	in.hash = h.Sum()
+	return in
+}
+
+// bitEqualVec confirms a fingerprint match exactly, making hash collisions
+// harmless.
+func bitEqualVec(a, b []vrange.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].BitEqual(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -9,12 +9,16 @@ import (
 	"vrp/internal/vrange"
 )
 
-// engine runs the §3.3 worklist algorithm over one function.
+// engine runs the §3.3 worklist algorithm over one function. Its
+// interprocedural inputs are frozen into `in` by the driver before the run
+// starts, so the engine never reads shared mutable state — engines of
+// call-independent functions can run concurrently.
 type engine struct {
-	f    *ir.Func
-	cfg  Config
-	calc *vrange.Calc
-	ip   *interproc
+	f      *ir.Func
+	cfg    Config
+	calc   *vrange.Calc
+	irProg *ir.Program
+	in     *funcInputs
 
 	tree      *dom.Tree
 	loops     *dom.LoopInfo
@@ -49,12 +53,13 @@ type engine struct {
 	stats Stats
 }
 
-func newEngine(f *ir.Func, cfg Config, calc *vrange.Calc, ip *interproc) *engine {
+func newEngine(f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs) *engine {
 	e := &engine{
 		f:             f,
 		cfg:           cfg,
 		calc:          calc,
-		ip:            ip,
+		irProg:        prog,
+		in:            in,
 		val:           make([]vrange.Value, f.NumRegs),
 		edgeFreq:      make([]float64, len(f.Edges)),
 		blkFreq:       make([]float64, len(f.Blocks)),
@@ -80,7 +85,7 @@ func newEngine(f *ir.Func, cfg Config, calc *vrange.Calc, ip *interproc) *engine
 	return e
 }
 
-func (e *engine) prog() *ir.Program { return e.ip.prog }
+func (e *engine) prog() *ir.Program { return e.irProg }
 
 // blockFreq is the node's expected executions per invocation, from the
 // last frequency solve (footnote 1's "sum of the probabilities of the
@@ -357,7 +362,7 @@ func (e *engine) evalInstr(in *ir.Instr) {
 	case ir.OpConst:
 		nv = vrange.Const(in.Const)
 	case ir.OpParam:
-		nv = e.ip.paramValue(e.f, in.ArgIndex)
+		nv = e.in.param(in.ArgIndex)
 	case ir.OpInput, ir.OpLoad, ir.OpAlloc:
 		// Loads are the paper's canonical ⊥ producers (§3.5); input() and
 		// array references are equally opaque.
@@ -395,7 +400,7 @@ func (e *engine) evalInstr(in *ir.Instr) {
 		if callee == nil {
 			nv = vrange.BottomValue()
 		} else {
-			nv = e.ip.returnValue(callee)
+			nv = e.in.ret(callee)
 		}
 	default:
 		nv = vrange.BottomValue()

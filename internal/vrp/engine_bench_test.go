@@ -1,6 +1,7 @@
 package vrp
 
 import (
+	"fmt"
 	"testing"
 
 	"vrp/internal/ir"
@@ -63,6 +64,46 @@ func main() {
 		if _, err := Analyze(p, DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzeManyFuncs measures the driver on a wide program (32
+// independent loop-nest kernels) under the sequential and the parallel
+// schedule; the two produce bit-identical results, so the ratio is pure
+// driver speedup.
+func BenchmarkAnalyzeManyFuncs(b *testing.B) {
+	src := ""
+	call := ""
+	for i := 0; i < 32; i++ {
+		src += fmt.Sprintf(`
+func kernel%d(n, m) {
+	var s = 0;
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < m; j++) {
+			if ((i + j) %% 2 == 0) { s += i; } else { s -= j; }
+		}
+	}
+	return s;
+}`, i)
+		call += fmt.Sprintf("\tprint(kernel%d(%d, %d));\n", i, 40+i, 10+i)
+	}
+	src += "\nfunc main() {\n" + call + "}\n"
+	p := mustCompile(b, src)
+	for _, workers := range []int{1, 0} {
+		name := "seq"
+		if workers == 0 {
+			name = "par"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,225 @@
+package vrp
+
+import (
+	"sort"
+
+	"vrp/internal/callgraph"
+	"vrp/internal/ir"
+	"vrp/internal/vrange"
+)
+
+// interproc holds cross-function state: per-caller jump functions for each
+// callee's formals, and return ranges. Formal parameter values are
+// recomputed on demand as the weighted merge over callers, so the tables
+// converge deterministically across passes.
+//
+// Storage is dense and indexed by call-graph function index, for two
+// reasons. First, determinism: merges iterate callers in function-index
+// order, never map order, so float accumulation order — and therefore every
+// output bit — is identical run to run and worker count to worker count.
+// Second, race freedom: during a parallel wave each running function f only
+// writes its own slots (retVals[f], and args[callee][pos-of-f]) and only
+// reads slots written by earlier waves, so distinct slice elements are the
+// only memory shared between concurrent tasks.
+type interproc struct {
+	cfg  Config
+	prog *ir.Program
+	cg   *callgraph.Graph
+
+	// args[callee][i] is the contribution of caller cg.Callers[callee][i]:
+	// one merged value per formal, plus that caller's total call frequency
+	// into callee. nil until the caller has been analyzed once.
+	args    [][]*callerArgs
+	retVals []vrange.Value // function index → merged return range
+}
+
+type callerArgs struct {
+	vals []vrange.Value
+	w    float64
+}
+
+func newInterproc(p *ir.Program, cfg Config, cg *callgraph.Graph) *interproc {
+	n := cg.NumFuncs()
+	ip := &interproc{
+		cfg:     cfg,
+		prog:    p,
+		cg:      cg,
+		args:    make([][]*callerArgs, n),
+		retVals: make([]vrange.Value, n),
+	}
+	for i := 0; i < n; i++ {
+		ip.args[i] = make([]*callerArgs, len(cg.Callers[i]))
+		if cfg.Interprocedural {
+			ip.retVals[i] = vrange.TopValue()
+		} else {
+			ip.retVals[i] = vrange.BottomValue()
+		}
+	}
+	return ip
+}
+
+// callerPos locates caller fi in the sorted caller list of callee ci.
+func (ip *interproc) callerPos(ci, fi int) int {
+	callers := ip.cg.Callers[ci]
+	pos := sort.SearchInts(callers, fi)
+	if pos == len(callers) || callers[pos] != fi {
+		return -1
+	}
+	return pos
+}
+
+// paramValue returns the current value of formal #idx of function fi: the
+// weighted merge of the jump functions at the known call sites, iterated in
+// caller-index order. With no recorded caller yet it is ⊤ in
+// interprocedural mode (optimistic: unreached so far), ⊥ otherwise. main's
+// parameters are always ⊥ (program inputs). Sub-operations accrue to the
+// caller-supplied calc (the running engine's), so no counts are lost.
+func (ip *interproc) paramValue(fi, idx int, calc *vrange.Calc) vrange.Value {
+	if !ip.cfg.Interprocedural || ip.cg.Funcs[fi].Name == "main" {
+		return vrange.BottomValue()
+	}
+	var items []vrange.Weighted
+	any := false
+	for pos := range ip.cg.Callers[fi] {
+		ca := ip.args[fi][pos]
+		if ca == nil {
+			continue
+		}
+		any = true
+		if idx < len(ca.vals) {
+			items = append(items, vrange.Weighted{Val: ca.vals[idx], W: ca.w})
+		}
+	}
+	if !any {
+		return vrange.TopValue()
+	}
+	return calc.Merge(items)
+}
+
+// returnValue returns the current return range of the callee with function
+// index ci.
+func (ip *interproc) returnValue(ci int) vrange.Value {
+	return ip.retVals[ci]
+}
+
+// sanitize strips caller-local symbolic bounds from a value crossing a
+// function boundary: the representation's ancestor variables are SSA names
+// of a single function.
+func sanitize(v vrange.Value) vrange.Value {
+	if v.Kind() != vrange.Set {
+		return v
+	}
+	for _, r := range v.Ranges {
+		if !r.Lo.IsNum() || !r.Hi.IsNum() {
+			return vrange.BottomValue()
+		}
+	}
+	return v
+}
+
+// update folds one engine run of function fi back into the interprocedural
+// tables; it reports whether anything lowered (another pass is needed).
+// Only fi's own slots are written, so concurrent updates of call-independent
+// functions within one wave never touch the same memory.
+func (ip *interproc) update(fi int, eng *engine) bool {
+	if !ip.cfg.Interprocedural {
+		return false
+	}
+	f := ip.cg.Funcs[fi]
+	changed := false
+
+	// Return range of f.
+	var items []vrange.Weighted
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpRet || t.A == ir.None {
+			continue
+		}
+		w := eng.blockFreq(b)
+		if w <= 0 {
+			continue
+		}
+		items = append(items, vrange.Weighted{Val: sanitize(eng.val[t.A]), W: w})
+	}
+	newRet := eng.calc.Merge(items)
+	if !newRet.Equal(ip.retVals[fi]) {
+		ip.retVals[fi] = newRet
+		changed = true
+	}
+
+	// Jump functions: actual argument values at every call site in f,
+	// weighted by call-site frequency, merged per callee (in callee-index
+	// order, for deterministic float accumulation).
+	type argAcc struct {
+		items [][]vrange.Weighted
+		w     float64
+	}
+	accs := map[int]*argAcc{}
+	for _, b := range f.Blocks {
+		w := eng.blockFreq(b)
+		if w <= 0 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := ip.prog.ByName[in.Callee]
+			if callee == nil {
+				continue
+			}
+			ci := ip.cg.Index[callee]
+			acc := accs[ci]
+			if acc == nil {
+				acc = &argAcc{items: make([][]vrange.Weighted, len(callee.Params))}
+				accs[ci] = acc
+			}
+			acc.w += w
+			for i := range callee.Params {
+				var av vrange.Value = vrange.BottomValue()
+				if i < len(in.Args) {
+					av = sanitize(eng.val[in.Args[i]])
+				}
+				acc.items[i] = append(acc.items[i], vrange.Weighted{Val: av, W: w})
+			}
+		}
+	}
+	touched := make([]int, 0, len(accs))
+	for ci := range accs {
+		touched = append(touched, ci)
+	}
+	sort.Ints(touched)
+	for _, ci := range touched {
+		acc := accs[ci]
+		ca := &callerArgs{vals: make([]vrange.Value, len(acc.items)), w: acc.w}
+		for i := range acc.items {
+			ca.vals[i] = eng.calc.Merge(acc.items[i])
+		}
+		pos := ip.callerPos(ci, fi)
+		if pos < 0 {
+			continue // cannot happen: fi has a static call to ci
+		}
+		prev := ip.args[ci][pos]
+		if prev == nil || !sameArgs(prev, ca) {
+			ip.args[ci][pos] = ca
+			changed = true
+		}
+	}
+	return changed
+}
+
+func sameArgs(a, b *callerArgs) bool {
+	if len(a.vals) != len(b.vals) {
+		return false
+	}
+	const wEps = 1e-6
+	if a.w-b.w > wEps || b.w-a.w > wEps {
+		return false
+	}
+	for i := range a.vals {
+		if !a.vals[i].Equal(b.vals[i]) {
+			return false
+		}
+	}
+	return true
+}

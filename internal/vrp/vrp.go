@@ -63,6 +63,17 @@ type Config struct {
 
 	// MaxFreq caps edge frequencies (relative to one function entry).
 	MaxFreq float64
+
+	// Workers bounds the number of per-function engines running
+	// concurrently within one call-graph wave: 0 picks one per available
+	// CPU (GOMAXPROCS), 1 is the fully sequential schedule. Results are
+	// bit-identical for every setting.
+	Workers int
+
+	// noSkip disables the driver's dirty-set work skipping (test-only: the
+	// skip-soundness tests compare a full re-analysis against the
+	// incremental schedule bit for bit).
+	noSkip bool
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -88,6 +99,12 @@ type Stats struct {
 	DerivedLoops  int64
 	FailedDerives int64
 	Passes        int
+
+	// FuncsAnalyzed counts engine runs across all passes; FuncsSkipped
+	// counts the re-analyses the driver's dirty set proved unnecessary
+	// (bit-identical interprocedural inputs since the last run).
+	FuncsAnalyzed int64
+	FuncsSkipped  int64
 }
 
 // PredictionSource says how a branch probability was obtained.
@@ -165,71 +182,72 @@ func (r *Result) Branches() []Branch {
 	return out
 }
 
-// Analyze runs value range propagation over an SSA-form program.
+// Analyze runs value range propagation over an SSA-form program. The
+// interprocedural fixpoint is scheduled by the parallel, incremental
+// driver (see driver.go): topological waves over the call graph
+// condensation, Config.Workers concurrent per-function engines, and
+// dirty-set skipping of functions whose interprocedural inputs did not
+// change since their last run. Results are bit-identical for every worker
+// count.
 func Analyze(p *ir.Program, cfg Config) (*Result, error) {
 	for _, f := range p.Funcs {
 		if !f.SSA {
 			return nil, fmt.Errorf("vrp: function %s is not in SSA form", f.Name)
 		}
 	}
-	res := &Result{Prog: p, Funcs: map[*ir.Func]*FuncResult{}}
-	calc := vrange.NewCalc(cfg.Range)
-
-	ip := newInterproc(p, cfg)
-	order := callOrder(p)
-
-	passes := cfg.MaxPasses
-	if !cfg.Interprocedural || passes < 1 {
-		passes = 1
-	}
-	for pass := 0; pass < passes; pass++ {
-		res.Stats.Passes++
-		changed := false
-		for _, f := range order {
-			eng := newEngine(f, cfg, calc, ip)
-			eng.run()
-			fr := eng.result()
-			res.Funcs[f] = fr
-			res.Stats.ExprEvals += eng.stats.ExprEvals
-			res.Stats.PhiEvals += eng.stats.PhiEvals
-			res.Stats.FlowVisits += eng.stats.FlowVisits
-			res.Stats.DerivedLoops += eng.stats.DerivedLoops
-			res.Stats.FailedDerives += eng.stats.FailedDerives
-			if ip.update(f, eng) {
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	res.Stats.SubOps = calc.SubOps
-	return res, nil
+	return newDriver(p, cfg).run(), nil
 }
 
 // callOrder returns functions roughly callers-before-callees starting at
 // main, so parameter seeds are available early; unreached functions come
-// last in name order.
+// last in name order. The preorder DFS runs on an explicit stack so deep
+// call chains cannot overflow the goroutine stack.
 func callOrder(p *ir.Program) []*ir.Func {
 	var order []*ir.Func
 	seen := map[*ir.Func]bool{}
-	var visit func(f *ir.Func)
-	visit = func(f *ir.Func) {
-		if f == nil || seen[f] {
-			return
-		}
-		seen[f] = true
-		order = append(order, f)
-		// Callees in first-call order.
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.OpCall {
-					visit(p.ByName[in.Callee])
+	// cursor is a suspended scan of one function's instructions.
+	type cursor struct {
+		f     *ir.Func
+		block int
+		instr int
+	}
+	if m := p.Main(); m != nil {
+		seen[m] = true
+		order = append(order, m)
+		stack := []cursor{{f: m}}
+		for len(stack) > 0 {
+			cur := &stack[len(stack)-1]
+			f := cur.f
+			pushed := false
+		scan:
+			for cur.block < len(f.Blocks) {
+				b := f.Blocks[cur.block]
+				for cur.instr < len(b.Instrs) {
+					in := b.Instrs[cur.instr]
+					cur.instr++
+					if in.Op != ir.OpCall {
+						continue
+					}
+					callee := p.ByName[in.Callee]
+					if callee == nil || seen[callee] {
+						continue
+					}
+					// First call of an unseen function: preorder-append it
+					// and descend (the parent cursor resumes afterwards).
+					seen[callee] = true
+					order = append(order, callee)
+					stack = append(stack, cursor{f: callee})
+					pushed = true
+					break scan
 				}
+				cur.block++
+				cur.instr = 0
+			}
+			if !pushed {
+				stack = stack[:len(stack)-1]
 			}
 		}
 	}
-	visit(p.Main())
 	rest := make([]*ir.Func, 0)
 	for _, f := range p.Funcs {
 		if !seen[f] {
@@ -238,181 +256,4 @@ func callOrder(p *ir.Program) []*ir.Func {
 	}
 	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
 	return append(order, rest...)
-}
-
-// ------------------------------------------------------ interprocedural
-
-// interproc holds cross-function state: per-caller jump functions for each
-// callee's formals, and return ranges. Formal parameter values are
-// recomputed on demand as the weighted merge over callers, so the tables
-// converge deterministically across passes.
-type interproc struct {
-	cfg  Config
-	calc *vrange.Calc
-	prog *ir.Program
-
-	// args[callee][caller] is the caller's contribution: one merged value
-	// per formal, plus the caller's total call frequency into callee.
-	args    map[*ir.Func]map[*ir.Func]*callerArgs
-	retVals map[*ir.Func]vrange.Value // merged return ranges
-}
-
-type callerArgs struct {
-	vals []vrange.Value
-	w    float64
-}
-
-func newInterproc(p *ir.Program, cfg Config) *interproc {
-	ip := &interproc{
-		cfg:     cfg,
-		calc:    vrange.NewCalc(cfg.Range),
-		prog:    p,
-		args:    map[*ir.Func]map[*ir.Func]*callerArgs{},
-		retVals: map[*ir.Func]vrange.Value{},
-	}
-	for _, f := range p.Funcs {
-		ip.args[f] = map[*ir.Func]*callerArgs{}
-		if cfg.Interprocedural {
-			ip.retVals[f] = vrange.TopValue()
-		} else {
-			ip.retVals[f] = vrange.BottomValue()
-		}
-	}
-	return ip
-}
-
-// paramValue returns the current value of formal #idx of f: the weighted
-// merge of the jump functions at the known call sites. With no recorded
-// caller yet it is ⊤ in interprocedural mode (optimistic: unreached so
-// far), ⊥ otherwise. main's parameters are always ⊥ (program inputs).
-func (ip *interproc) paramValue(f *ir.Func, idx int) vrange.Value {
-	if !ip.cfg.Interprocedural || f.Name == "main" {
-		return vrange.BottomValue()
-	}
-	callers := ip.args[f]
-	if len(callers) == 0 {
-		return vrange.TopValue()
-	}
-	items := make([]vrange.Weighted, 0, len(callers))
-	for _, ca := range callers {
-		if idx < len(ca.vals) {
-			items = append(items, vrange.Weighted{Val: ca.vals[idx], W: ca.w})
-		}
-	}
-	return ip.calc.Merge(items)
-}
-
-// returnValue returns the current return range of callee.
-func (ip *interproc) returnValue(callee *ir.Func) vrange.Value {
-	if v, ok := ip.retVals[callee]; ok {
-		return v
-	}
-	return vrange.BottomValue()
-}
-
-// sanitize strips caller-local symbolic bounds from a value crossing a
-// function boundary: the representation's ancestor variables are SSA names
-// of a single function.
-func sanitize(v vrange.Value) vrange.Value {
-	if v.Kind() != vrange.Set {
-		return v
-	}
-	for _, r := range v.Ranges {
-		if !r.Lo.IsNum() || !r.Hi.IsNum() {
-			return vrange.BottomValue()
-		}
-	}
-	return v
-}
-
-// update folds one engine run back into the interprocedural tables; it
-// reports whether anything lowered (another pass is needed).
-func (ip *interproc) update(f *ir.Func, eng *engine) bool {
-	if !ip.cfg.Interprocedural {
-		return false
-	}
-	changed := false
-
-	// Return range of f.
-	var items []vrange.Weighted
-	for _, b := range f.Blocks {
-		t := b.Terminator()
-		if t == nil || t.Op != ir.OpRet || t.A == ir.None {
-			continue
-		}
-		w := eng.blockFreq(b)
-		if w <= 0 {
-			continue
-		}
-		items = append(items, vrange.Weighted{Val: sanitize(eng.val[t.A]), W: w})
-	}
-	newRet := eng.calc.Merge(items)
-	if !newRet.Equal(ip.retVals[f]) {
-		ip.retVals[f] = newRet
-		changed = true
-	}
-
-	// Jump functions: actual argument values at every call site in f,
-	// weighted by call-site frequency, merged per callee.
-	type argAcc struct {
-		items [][]vrange.Weighted
-		w     float64
-	}
-	accs := map[*ir.Func]*argAcc{}
-	for _, b := range f.Blocks {
-		w := eng.blockFreq(b)
-		if w <= 0 {
-			continue
-		}
-		for _, in := range b.Instrs {
-			if in.Op != ir.OpCall {
-				continue
-			}
-			callee := eng.prog().ByName[in.Callee]
-			if callee == nil {
-				continue
-			}
-			acc := accs[callee]
-			if acc == nil {
-				acc = &argAcc{items: make([][]vrange.Weighted, len(callee.Params))}
-				accs[callee] = acc
-			}
-			acc.w += w
-			for i := range callee.Params {
-				var av vrange.Value = vrange.BottomValue()
-				if i < len(in.Args) {
-					av = sanitize(eng.val[in.Args[i]])
-				}
-				acc.items[i] = append(acc.items[i], vrange.Weighted{Val: av, W: w})
-			}
-		}
-	}
-	for callee, acc := range accs {
-		ca := &callerArgs{vals: make([]vrange.Value, len(acc.items)), w: acc.w}
-		for i := range acc.items {
-			ca.vals[i] = eng.calc.Merge(acc.items[i])
-		}
-		prev := ip.args[callee][f]
-		if prev == nil || !sameArgs(prev, ca) {
-			ip.args[callee][f] = ca
-			changed = true
-		}
-	}
-	return changed
-}
-
-func sameArgs(a, b *callerArgs) bool {
-	if len(a.vals) != len(b.vals) {
-		return false
-	}
-	const wEps = 1e-6
-	if a.w-b.w > wEps || b.w-a.w > wEps {
-		return false
-	}
-	for i := range a.vals {
-		if !a.vals[i].Equal(b.vals[i]) {
-			return false
-		}
-	}
-	return true
 }

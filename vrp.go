@@ -118,6 +118,14 @@ func WithAssumedMagnitude(t int64) Option {
 	return func(c *corevrp.Config) { c.Range.AssumedVarValue = t }
 }
 
+// WithWorkers bounds the number of per-function engines the analysis
+// driver runs concurrently within one call-graph wave: 0 (the default)
+// picks one per available CPU, 1 forces the fully sequential schedule.
+// Results are bit-identical for every setting; only wall-clock changes.
+func WithWorkers(n int) Option {
+	return func(c *corevrp.Config) { c.Workers = n }
+}
+
 // WithMaxEvals overrides the per-instruction structural-change budget
 // before brute-force loop propagation widens to ⊥ (default 12).
 func WithMaxEvals(n int) Option {
