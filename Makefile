@@ -1,10 +1,11 @@
-# Development targets. `make check` is the CI gate: vet plus the full test
-# suite under the race detector (the analysis driver is parallel by
-# default, so every test doubles as a race test).
+# Development targets. `make check` is the CI gate: formatting, vet, and
+# the full test suite under the race detector (the analysis driver is
+# parallel by default, so every test doubles as a race test).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race fmt check bench
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Fail fast on formatting drift: list the offending files and exit nonzero.
+fmt:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
+check: fmt vet race
 
 # Machine-readable driver benchmark: writes BENCH_driver.json.
 bench:

@@ -115,11 +115,15 @@ func runDriverBench(w *os.File, outPath string, iters int) error {
 		return err
 	}
 	fmt.Fprintf(w, "driver benchmark (%d workers), best of %d:\n", rep.GOMAXPROCS, iters)
-	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s\n",
-		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped")
+	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s %5s\n",
+		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped", "conv")
 	for _, p := range pts {
-		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d\n",
-			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped)
+		conv := "yes"
+		if !p.Converged {
+			conv = "NO"
+		}
+		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d %5s\n",
+			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped, conv)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	return nil

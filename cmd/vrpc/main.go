@@ -8,12 +8,18 @@
 // Flags:
 //
 //	-ir          dump the SSA IR
+//	-dot         dump the CFG in Graphviz DOT format, edges labelled with
+//	             predicted frequencies
 //	-ranges      dump final value ranges for named variables
 //	-numeric     disable symbolic ranges
 //	-run         execute the program; remaining arguments are the input
 //	             stream (integers)
-//	-profile     with -run, print observed branch probabilities next to
-//	             the predictions
+//	-profile     with -run (required), print observed branch probabilities
+//	             next to the predictions
+//
+// Analysis diagnostics (non-convergence, degraded functions) are printed
+// to standard error; a run that did not converge exits with status 0 but
+// says so, since the reported ranges have been conservatively demoted.
 package main
 
 import (
@@ -42,6 +48,10 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *profile && !*run {
+		fmt.Fprintln(os.Stderr, "vrpc: -profile requires -run (there is no observed profile without executing the program)")
+		os.Exit(2)
+	}
 	name := flag.Arg(0)
 	src, err := os.ReadFile(name)
 	if err != nil {
@@ -62,6 +72,12 @@ func main() {
 	analysis, err := prog.Analyze(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	for _, d := range analysis.Diagnostics() {
+		fmt.Fprintln(os.Stderr, "vrpc: diagnostic:", d)
+	}
+	if !analysis.Converged() {
+		fmt.Fprintln(os.Stderr, "vrpc: warning: analysis did not converge; optimistic ranges were demoted to ⊥")
 	}
 	if *dumpDot {
 		prog.IR.WriteDot(os.Stdout, func(f *ir.Func, e *ir.Edge) string {

@@ -1,6 +1,8 @@
 package vrp_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -163,5 +165,73 @@ func TestNoAssertionCompile(t *testing.T) {
 		if pr.Prob < 0 || pr.Prob > 1 {
 			t.Errorf("prob %f out of range", pr.Prob)
 		}
+	}
+}
+
+func TestAnalyzeContextFacade(t *testing.T) {
+	p, err := vrp.Compile("q.mini", quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A live context behaves exactly like Analyze, and a healthy run is
+	// converged with no diagnostics.
+	a, err := p.AnalyzeContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged() {
+		t.Error("healthy run reports Converged=false")
+	}
+	if ds := a.Diagnostics(); len(ds) != 0 {
+		t.Errorf("healthy run has diagnostics: %v", ds)
+	}
+
+	// A cancelled context aborts with the typed error; the WithContext
+	// option is the equivalent spelling.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() (*vrp.Analysis, error){
+		"AnalyzeContext": func() (*vrp.Analysis, error) { return p.AnalyzeContext(ctx) },
+		"WithContext":    func() (*vrp.Analysis, error) { return p.Analyze(vrp.WithContext(ctx)) },
+	} {
+		a, err := run()
+		if a != nil {
+			t.Fatalf("%s: cancelled analysis returned a result", name)
+		}
+		var ae *vrp.AnalysisError
+		if !errors.As(err, &ae) {
+			t.Fatalf("%s: error is %T, want *vrp.AnalysisError", name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error does not unwrap to context.Canceled: %v", name, err)
+		}
+	}
+}
+
+func TestMaxEngineStepsFacade(t *testing.T) {
+	p, err := vrp.Compile("q.mini", quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(vrp.WithMaxEngineSteps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget []vrp.Diagnostic
+	for _, d := range a.Diagnostics() {
+		if d.Kind == vrp.DiagStepBudget {
+			budget = append(budget, d)
+		}
+	}
+	if len(budget) == 0 {
+		t.Fatal("no step-budget diagnostic under a one-step budget")
+	}
+	if budget[0].Func != "main" {
+		t.Errorf("diagnostic func = %q, want main", budget[0].Func)
+	}
+	// Degraded branches still produce predictions (heuristic fallback).
+	if len(a.Predictions()) != 3 {
+		t.Errorf("predictions = %d, want 3", len(a.Predictions()))
 	}
 }

@@ -113,6 +113,11 @@ type DriverPoint struct {
 	Passes   int     `json:"passes"`
 	Analyzed int64   `json:"funcs_analyzed"`
 	Skipped  int64   `json:"funcs_skipped"`
+
+	// Converged distinguishes a true fixpoint from a MaxPasses cutoff
+	// (where ⊤ values were demoted); a benchmark point that did not
+	// converge is timing a different amount of work.
+	Converged bool `json:"converged"`
 }
 
 // DriverScaling times the analysis of merged corpus programs of growing
@@ -151,15 +156,16 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 			return nil, err
 		}
 		pts = append(pts, DriverPoint{
-			Name:     fmt.Sprintf("merged-%d", k),
-			Instrs:   mp.NumInstrs(),
-			Funcs:    len(mp.Funcs),
-			SeqNsOp:  seqNs,
-			ParNsOp:  parNs,
-			Speedup:  float64(seqNs) / float64(parNs),
-			Passes:   res.Stats.Passes,
-			Analyzed: res.Stats.FuncsAnalyzed,
-			Skipped:  res.Stats.FuncsSkipped,
+			Name:      fmt.Sprintf("merged-%d", k),
+			Instrs:    mp.NumInstrs(),
+			Funcs:     len(mp.Funcs),
+			SeqNsOp:   seqNs,
+			ParNsOp:   parNs,
+			Speedup:   float64(seqNs) / float64(parNs),
+			Passes:    res.Stats.Passes,
+			Analyzed:  res.Stats.FuncsAnalyzed,
+			Skipped:   res.Stats.FuncsSkipped,
+			Converged: res.Stats.Converged,
 		})
 		if k == len(all) {
 			break

@@ -237,6 +237,17 @@ func (v Value) Kind() Kind { return v.kind }
 // IsTop reports v == ⊤.
 func (v Value) IsTop() bool { return v.kind == Top }
 
+// DemoteTop lowers ⊤ to ⊥ and leaves every other value unchanged. An
+// optimistic ⊤ is only a sound answer at a fixed point (Wegman–Zadeck);
+// when a fixpoint is cut short — MaxPasses exhausted, engine degraded —
+// the surviving ⊤s must be reported as unpredictable instead.
+func DemoteTop(v Value) Value {
+	if v.kind == Top {
+		return BottomValue()
+	}
+	return v
+}
+
 // IsBottom reports v == ⊥.
 func (v Value) IsBottom() bool { return v.kind == Bottom }
 

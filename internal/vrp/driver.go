@@ -1,6 +1,8 @@
 package vrp
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -72,6 +74,7 @@ type statCounters struct {
 	subOps        int64
 	funcsAnalyzed int64
 	funcsSkipped  int64
+	funcsDegraded int64
 }
 
 func (s *statCounters) addAtomic(l *statCounters) {
@@ -83,6 +86,7 @@ func (s *statCounters) addAtomic(l *statCounters) {
 	atomic.AddInt64(&s.subOps, l.subOps)
 	atomic.AddInt64(&s.funcsAnalyzed, l.funcsAnalyzed)
 	atomic.AddInt64(&s.funcsSkipped, l.funcsSkipped)
+	atomic.AddInt64(&s.funcsDegraded, l.funcsDegraded)
 }
 
 type driver struct {
@@ -91,32 +95,51 @@ type driver struct {
 	cg      *callgraph.Graph
 	ip      *interproc
 	workers int
+	ctx     context.Context
 
 	results []*FuncResult    // function index → latest FuncResult
 	prevIn  [][]vrange.Value // function index → input vector of the last engine run (nil: never ran)
 	prevFP  []uint64         // fingerprint of prevIn
+
+	// poisoned marks functions whose engine panicked or ran out of step
+	// budget: their results are the degraded ⊥/heuristic fallback and
+	// they are quarantined for the remaining passes (the degraded
+	// contribution is already a fixpoint). Like results/prevIn, each slot
+	// is touched only by the task that owns the function's SCC, so wave
+	// parallelism stays race-free.
+	poisoned []bool
+
+	// diags collects diagnostics in per-function slots (index = function
+	// index) so the final Diagnostics slice is deterministic for every
+	// worker count: concatenated in function-index order, per-function in
+	// pass order.
+	diags [][]Diagnostic
 
 	// sccFuncs orders each SCC's members by callOrder position, so
 	// mutually recursive functions are analyzed callers-roughly-first
 	// exactly as the classic sequential driver did.
 	sccFuncs [][]int
 
-	stats   statCounters
-	changed atomic.Bool
+	pass      int // current 0-based pass, for diagnostics
+	stats     statCounters
+	changed   atomic.Bool
+	cancelled atomic.Bool
 }
 
 func newDriver(p *ir.Program, cfg Config) *driver {
 	cg := callgraph.Build(p)
 	n := cg.NumFuncs()
 	d := &driver{
-		prog:    p,
-		cfg:     cfg,
-		cg:      cg,
-		ip:      newInterproc(p, cfg, cg),
-		workers: cfg.Workers,
-		results: make([]*FuncResult, n),
-		prevIn:  make([][]vrange.Value, n),
-		prevFP:  make([]uint64, n),
+		prog:     p,
+		cfg:      cfg,
+		cg:       cg,
+		ip:       newInterproc(p, cfg, cg),
+		workers:  cfg.Workers,
+		results:  make([]*FuncResult, n),
+		prevIn:   make([][]vrange.Value, n),
+		prevFP:   make([]uint64, n),
+		poisoned: make([]bool, n),
+		diags:    make([][]Diagnostic, n),
 	}
 	if d.workers <= 0 {
 		d.workers = runtime.GOMAXPROCS(0)
@@ -134,35 +157,111 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 	return d
 }
 
-// run drives the outer fixpoint to convergence (or MaxPasses).
-func (d *driver) run() *Result {
+// run drives the outer fixpoint to convergence (or MaxPasses, or
+// cancellation). A cancelled run returns a typed *AnalysisError carrying
+// the partial stats; a run that exhausts MaxPasses without converging
+// demotes every surviving optimistic ⊤ value to ⊥ (optimism is only sound
+// at a fixed point) and records a non-convergence diagnostic per affected
+// function.
+func (d *driver) run(ctx context.Context) (*Result, error) {
+	d.ctx = ctx
 	res := &Result{Prog: d.prog, Funcs: make(map[*ir.Func]*FuncResult, len(d.prog.Funcs))}
 	passes := d.cfg.MaxPasses
 	if !d.cfg.Interprocedural || passes < 1 {
 		passes = 1
 	}
 	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			d.cancelled.Store(true)
+			break
+		}
+		d.pass = pass
 		res.Stats.Passes++
 		d.changed.Store(false)
 		for _, wave := range d.cg.Waves {
+			if d.cancelled.Load() || ctx.Err() != nil {
+				d.cancelled.Store(true)
+				break
+			}
 			d.runWave(wave)
 		}
-		if !d.changed.Load() {
+		if d.cancelled.Load() || !d.changed.Load() {
 			break
 		}
+	}
+	d.fillStats(&res.Stats)
+	if d.cancelled.Load() {
+		diags := append(d.collectDiags(), Diagnostic{
+			Kind: DiagCancelled,
+			SCC:  -1,
+			Pass: d.pass,
+			Msg:  fmt.Sprintf("analysis cancelled: %v", ctx.Err()),
+		})
+		return nil, &AnalysisError{Err: ctx.Err(), Stats: res.Stats, Diagnostics: diags}
+	}
+	res.Stats.Converged = !d.changed.Load()
+	if !res.Stats.Converged {
+		d.demoteUnconverged(res.Stats.Passes)
 	}
 	for i, f := range d.cg.Funcs {
 		res.Funcs[f] = d.results[i]
 	}
-	res.Stats.ExprEvals = d.stats.exprEvals
-	res.Stats.PhiEvals = d.stats.phiEvals
-	res.Stats.FlowVisits = d.stats.flowVisits
-	res.Stats.DerivedLoops = d.stats.derivedLoops
-	res.Stats.FailedDerives = d.stats.failedDerives
-	res.Stats.SubOps = d.stats.subOps
-	res.Stats.FuncsAnalyzed = d.stats.funcsAnalyzed
-	res.Stats.FuncsSkipped = d.stats.funcsSkipped
-	return res
+	res.Diagnostics = d.collectDiags()
+	return res, nil
+}
+
+func (d *driver) fillStats(s *Stats) {
+	s.ExprEvals = d.stats.exprEvals
+	s.PhiEvals = d.stats.phiEvals
+	s.FlowVisits = d.stats.flowVisits
+	s.DerivedLoops = d.stats.derivedLoops
+	s.FailedDerives = d.stats.failedDerives
+	s.SubOps = d.stats.subOps
+	s.FuncsAnalyzed = d.stats.funcsAnalyzed
+	s.FuncsSkipped = d.stats.funcsSkipped
+	s.FuncsDegraded = d.stats.funcsDegraded
+}
+
+// collectDiags flattens the per-function diagnostic slots in
+// function-index order — the same order for every worker count.
+func (d *driver) collectDiags() []Diagnostic {
+	var out []Diagnostic
+	for _, ds := range d.diags {
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// demoteUnconverged applies the non-convergence contract: any ⊤ a
+// function still reports after MaxPasses is an optimistic assumption that
+// was never validated, so it is demoted to ⊥ (Wegman–Zadeck optimism is
+// only sound at a fixed point) and the function gets a DiagNonConvergence
+// diagnostic. Branch probabilities need no patching: a ⊤-controlled
+// branch never received a range-based probability (the engine's finalize
+// already assigned the heuristic fallback).
+func (d *driver) demoteUnconverged(passes int) {
+	for fi, fr := range d.results {
+		if fr == nil {
+			continue
+		}
+		demoted := 0
+		for j, v := range fr.Val {
+			if v.IsTop() {
+				fr.Val[j] = vrange.DemoteTop(v)
+				demoted++
+			}
+		}
+		if demoted > 0 {
+			d.diags[fi] = append(d.diags[fi], Diagnostic{
+				Kind: DiagNonConvergence,
+				Func: fr.Fn.Name,
+				SCC:  d.cg.SCCID[fi],
+				Pass: d.pass,
+				Msg: fmt.Sprintf("fixpoint not reached after %d pass(es): %d optimistic ⊤ value(s) demoted to ⊥",
+					passes, demoted),
+			})
+		}
+	}
 }
 
 // runWave analyzes every SCC of one wave, concurrently when the pool and
@@ -174,6 +273,9 @@ func (d *driver) runWave(wave []int) {
 	}
 	if nw <= 1 {
 		for _, scc := range wave {
+			if d.cancelled.Load() {
+				return
+			}
 			d.runSCC(scc)
 		}
 		return
@@ -186,7 +288,7 @@ func (d *driver) runWave(wave []int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(wave) {
+				if i >= len(wave) || d.cancelled.Load() {
 					return
 				}
 				d.runSCC(wave[i])
@@ -198,11 +300,24 @@ func (d *driver) runWave(wave []int) {
 
 // runSCC analyzes one SCC's functions sequentially (mutual recursion needs
 // each member to observe the previous member's update within the pass),
-// with a per-task calc so sub-operation counts merge exactly.
+// with a per-task calc so sub-operation counts merge exactly. Each engine
+// run is panic-isolated: a panic (or an exhausted step budget) degrades
+// that one function to the ⊥/heuristic fallback and quarantines it,
+// instead of killing the process from a worker goroutine.
 func (d *driver) runSCC(scc int) {
 	var local statCounters
 	changed := false
 	for _, fi := range d.sccFuncs[scc] {
+		if d.poisoned[fi] {
+			continue // quarantined: degraded result is already a fixpoint
+		}
+		if d.cancelled.Load() {
+			break
+		}
+		if d.ctx != nil && d.ctx.Err() != nil {
+			d.cancelled.Store(true)
+			break
+		}
 		calc := vrange.NewCalc(d.cfg.Range)
 		in := d.computeInputs(fi, calc)
 		if !d.cfg.noSkip && d.results[fi] != nil && d.prevIn[fi] != nil &&
@@ -213,10 +328,48 @@ func (d *driver) runSCC(scc int) {
 			local.subOps += calc.SubOps
 			continue
 		}
-		eng := newEngine(d.cg.Funcs[fi], d.cfg, calc, d.prog, in)
-		eng.run()
+		eng, panicked := d.runEngine(fi, calc, in)
+		if panicked != nil {
+			d.degradeFunc(fi, calc, &local, &changed, Diagnostic{
+				Kind:       DiagPanic,
+				Func:       d.cg.Funcs[fi].Name,
+				SCC:        scc,
+				Pass:       d.pass,
+				Msg:        fmt.Sprintf("engine panicked: %v", panicked),
+				PanicValue: panicked,
+			})
+			local.subOps += calc.SubOps
+			continue
+		}
+		switch eng.abort {
+		case abortCancelled:
+			d.cancelled.Store(true)
+			d.stats.addAtomic(&local)
+			if changed {
+				d.changed.Store(true)
+			}
+			return
+		case abortStepBudget:
+			d.degradeFunc(fi, calc, &local, &changed, Diagnostic{
+				Kind: DiagStepBudget,
+				Func: d.cg.Funcs[fi].Name,
+				SCC:  scc,
+				Pass: d.pass,
+				Msg: fmt.Sprintf("engine exceeded MaxEngineSteps=%d after %d steps; result degraded to ⊥",
+					d.cfg.MaxEngineSteps, eng.steps),
+			})
+			// The aborted engine's partial work still happened; count it so
+			// Stats stay an honest account of effort spent.
+			local.exprEvals += eng.stats.ExprEvals
+			local.phiEvals += eng.stats.PhiEvals
+			local.flowVisits += eng.stats.FlowVisits
+			local.derivedLoops += eng.stats.DerivedLoops
+			local.failedDerives += eng.stats.FailedDerives
+			local.subOps += calc.SubOps
+			continue
+		}
 		d.results[fi] = eng.result()
-		if d.ip.update(fi, eng) {
+		if d.ip.update(fi, eng.val, eng.blockFreq, eng.calc) {
 			changed = true
 		}
 		d.prevIn[fi] = in.vec
@@ -233,6 +386,48 @@ func (d *driver) runSCC(scc int) {
 	if changed {
 		d.changed.Store(true)
 	}
+}
+
+// runEngine runs one function's engine inside a recover barrier. On panic
+// it returns (nil, recovered-value); the partially mutated engine is
+// discarded.
+func (d *driver) runEngine(fi int, calc *vrange.Calc, in *funcInputs) (eng *engine, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			eng, panicked = nil, r
+		}
+	}()
+	eng = newEngine(d.ctx, d.cg.Funcs[fi], d.cfg, calc, d.prog, in)
+	eng.run()
+	return eng, nil
+}
+
+// degradeFunc replaces fi's result with the ⊥/heuristic fallback, folds
+// the degraded values into the interprocedural tables (callers must see ⊥,
+// not a stale optimistic range), quarantines the function, and records the
+// diagnostic.
+func (d *driver) degradeFunc(fi int, calc *vrange.Calc, local *statCounters, changed *bool, diag Diagnostic) {
+	f := d.cg.Funcs[fi]
+	fr, blkFreq := degradedResult(f, d.cfg)
+	d.results[fi] = fr
+	d.poisoned[fi] = true
+	d.prevIn[fi] = nil
+	bf := func(b *ir.Block) float64 {
+		if b == f.Entry {
+			return 1
+		}
+		s := blkFreq[b.ID]
+		if s > d.cfg.MaxFreq {
+			return d.cfg.MaxFreq
+		}
+		return s
+	}
+	if d.ip.update(fi, fr.Val, bf, calc) {
+		*changed = true
+	}
+	d.diags[fi] = append(d.diags[fi], diag)
+	local.funcsAnalyzed++
+	local.funcsDegraded++
 }
 
 // computeInputs snapshots fi's interprocedural inputs and fingerprints

@@ -1,12 +1,22 @@
 package vrp
 
 import (
+	"context"
 	"math"
 
 	"vrp/internal/dom"
 	"vrp/internal/freq"
 	"vrp/internal/ir"
 	"vrp/internal/vrange"
+)
+
+// abortReason says why an engine run stopped before its fixed point.
+type abortReason int
+
+const (
+	abortNone       abortReason = iota
+	abortCancelled              // the run's context was cancelled
+	abortStepBudget             // Config.MaxEngineSteps exhausted
 )
 
 // engine runs the §3.3 worklist algorithm over one function. Its
@@ -19,6 +29,10 @@ type engine struct {
 	calc   *vrange.Calc
 	irProg *ir.Program
 	in     *funcInputs
+	ctx    context.Context
+
+	steps int64       // worklist items processed by this run
+	abort abortReason // set when the run stops before its fixed point
 
 	tree      *dom.Tree
 	loops     *dom.LoopInfo
@@ -53,13 +67,14 @@ type engine struct {
 	stats Stats
 }
 
-func newEngine(f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs) *engine {
+func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs) *engine {
 	e := &engine{
 		f:             f,
 		cfg:           cfg,
 		calc:          calc,
 		irProg:        prog,
 		in:            in,
+		ctx:           ctx,
 		val:           make([]vrange.Value, f.NumRegs),
 		edgeFreq:      make([]float64, len(f.Edges)),
 		blkFreq:       make([]float64, len(f.Blocks)),
@@ -162,8 +177,20 @@ func (e *engine) pushUses(r ir.Reg) {
 	}
 }
 
-// run executes the algorithm of §3.3 to its fixed point.
+// cancelCheckMask throttles context polls to one per 256 worklist steps:
+// frequent enough to stop a pathological function promptly, rare enough
+// that the atomic load never shows up in profiles.
+const cancelCheckMask = 0xFF
+
+// run executes the algorithm of §3.3 to its fixed point — or stops early,
+// setting e.abort, when the context is cancelled or the step budget
+// (Config.MaxEngineSteps) runs out. An aborted run's partial state is
+// discarded by the driver, which substitutes the degraded ⊥/heuristic
+// result.
 func (e *engine) run() {
+	if e.cfg.testHookEngineRun != nil {
+		e.cfg.testHookEngineRun(e.f)
+	}
 	// Step 1: the entry node is executable with probability 1; evaluate it
 	// and seed the FlowWorkList with its out-edges via the first frequency
 	// solve.
@@ -172,6 +199,15 @@ func (e *engine) run() {
 
 	// Step 2: drain the lists, preferring the configured one.
 	for e.flowHead < len(e.flowWL) || e.ssaHead < len(e.ssaWL) {
+		e.steps++
+		if e.cfg.MaxEngineSteps > 0 && e.steps > int64(e.cfg.MaxEngineSteps) {
+			e.abort = abortStepBudget
+			return
+		}
+		if e.steps&cancelCheckMask == 0 && e.ctx != nil && e.ctx.Err() != nil {
+			e.abort = abortCancelled
+			return
+		}
 		flowAvail := e.flowHead < len(e.flowWL)
 		ssaAvail := e.ssaHead < len(e.ssaWL)
 		if (e.cfg.FlowFirst && flowAvail) || !ssaAvail {

@@ -117,11 +117,16 @@ func sanitize(v vrange.Value) vrange.Value {
 	return v
 }
 
-// update folds one engine run of function fi back into the interprocedural
-// tables; it reports whether anything lowered (another pass is needed).
-// Only fi's own slots are written, so concurrent updates of call-independent
-// functions within one wave never touch the same memory.
-func (ip *interproc) update(fi int, eng *engine) bool {
+// update folds one function run back into the interprocedural tables; it
+// reports whether anything lowered (another pass is needed). vals is the
+// run's per-register value table, blockFreq its per-block expected
+// executions, and calc accumulates merge sub-operations. The values come
+// from an engine run normally, or from a degraded ⊥/heuristic result when
+// the engine panicked or ran out of budget — folding the degraded values
+// keeps callers and callees sound (they see ⊥, never a stale optimistic
+// range). Only fi's own slots are written, so concurrent updates of
+// call-independent functions within one wave never touch the same memory.
+func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Block) float64, calc *vrange.Calc) bool {
 	if !ip.cfg.Interprocedural {
 		return false
 	}
@@ -135,13 +140,13 @@ func (ip *interproc) update(fi int, eng *engine) bool {
 		if t == nil || t.Op != ir.OpRet || t.A == ir.None {
 			continue
 		}
-		w := eng.blockFreq(b)
+		w := blockFreq(b)
 		if w <= 0 {
 			continue
 		}
-		items = append(items, vrange.Weighted{Val: sanitize(eng.val[t.A]), W: w})
+		items = append(items, vrange.Weighted{Val: sanitize(vals[t.A]), W: w})
 	}
-	newRet := eng.calc.Merge(items)
+	newRet := calc.Merge(items)
 	if !newRet.Equal(ip.retVals[fi]) {
 		ip.retVals[fi] = newRet
 		changed = true
@@ -156,7 +161,7 @@ func (ip *interproc) update(fi int, eng *engine) bool {
 	}
 	accs := map[int]*argAcc{}
 	for _, b := range f.Blocks {
-		w := eng.blockFreq(b)
+		w := blockFreq(b)
 		if w <= 0 {
 			continue
 		}
@@ -178,7 +183,7 @@ func (ip *interproc) update(fi int, eng *engine) bool {
 			for i := range callee.Params {
 				var av vrange.Value = vrange.BottomValue()
 				if i < len(in.Args) {
-					av = sanitize(eng.val[in.Args[i]])
+					av = sanitize(vals[in.Args[i]])
 				}
 				acc.items[i] = append(acc.items[i], vrange.Weighted{Val: av, W: w})
 			}
@@ -193,7 +198,7 @@ func (ip *interproc) update(fi int, eng *engine) bool {
 		acc := accs[ci]
 		ca := &callerArgs{vals: make([]vrange.Value, len(acc.items)), w: acc.w}
 		for i := range acc.items {
-			ca.vals[i] = eng.calc.Merge(acc.items[i])
+			ca.vals[i] = calc.Merge(acc.items[i])
 		}
 		pos := ip.callerPos(ci, fi)
 		if pos < 0 {

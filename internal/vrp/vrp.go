@@ -14,6 +14,7 @@
 package vrp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,10 +71,26 @@ type Config struct {
 	// bit-identical for every setting.
 	Workers int
 
+	// MaxEngineSteps bounds the worklist items one engine run may process
+	// (0 = unlimited). A function that exhausts the budget has its result
+	// degraded to ⊥ with heuristic-only branch probabilities and a
+	// DiagStepBudget diagnostic, instead of spinning — the pathological
+	// function pays, the rest of the program is analyzed exactly.
+	MaxEngineSteps int
+
+	// Ctx optionally carries a cancellation context into Analyze; nil
+	// means context.Background(). AnalyzeContext overrides it.
+	Ctx context.Context
+
 	// noSkip disables the driver's dirty-set work skipping (test-only: the
 	// skip-soundness tests compare a full re-analysis against the
 	// incremental schedule bit for bit).
 	noSkip bool
+
+	// testHookEngineRun, when set, is called at the start of every engine
+	// run with the function under analysis (test-only: panic and
+	// cancellation injection for the failure-path tests).
+	testHookEngineRun func(f *ir.Func)
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -105,6 +122,18 @@ type Stats struct {
 	// (bit-identical interprocedural inputs since the last run).
 	FuncsAnalyzed int64
 	FuncsSkipped  int64
+
+	// Converged reports that the interprocedural fixpoint actually
+	// reached a fixed point within MaxPasses. When false, every surviving
+	// optimistic ⊤ value has been demoted to ⊥ in the reported results
+	// (optimism is only sound at a fixed point) and the affected
+	// functions carry DiagNonConvergence diagnostics.
+	Converged bool
+
+	// FuncsDegraded counts functions whose engine panicked or exceeded
+	// MaxEngineSteps and whose results were replaced by the ⊥/heuristic
+	// fallback.
+	FuncsDegraded int64
 }
 
 // PredictionSource says how a branch probability was obtained.
@@ -148,6 +177,10 @@ type FuncResult struct {
 	BranchProb map[*ir.Instr]float64
 	// BranchSource records how each probability was obtained.
 	BranchSource map[*ir.Instr]PredictionSource
+
+	// Degraded marks a function whose engine panicked or ran out of step
+	// budget: Val is all ⊥ and every branch probability is heuristic.
+	Degraded bool
 }
 
 // Result is a whole-program analysis result.
@@ -155,6 +188,11 @@ type Result struct {
 	Prog  *ir.Program
 	Funcs map[*ir.Func]*FuncResult
 	Stats Stats
+
+	// Diagnostics records every failure-path event of the run
+	// (non-convergence demotions, panics, step-budget degradations), in
+	// deterministic order: function index, then pass.
+	Diagnostics []Diagnostic
 }
 
 // Branches returns every conditional branch prediction in deterministic
@@ -188,14 +226,31 @@ func (r *Result) Branches() []Branch {
 // condensation, Config.Workers concurrent per-function engines, and
 // dirty-set skipping of functions whose interprocedural inputs did not
 // change since their last run. Results are bit-identical for every worker
-// count.
+// count. Cancellation comes from Config.Ctx (nil = background); see
+// AnalyzeContext.
 func Analyze(p *ir.Program, cfg Config) (*Result, error) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return AnalyzeContext(ctx, p, cfg)
+}
+
+// AnalyzeContext is Analyze under an explicit context. Cancellation is
+// observed between functions and, inside a single engine, every few
+// hundred worklist steps; a cancelled run returns a typed *AnalysisError
+// carrying the partial stats and diagnostics (errors.Is(err,
+// context.Canceled) holds). ctx takes precedence over cfg.Ctx.
+func AnalyzeContext(ctx context.Context, p *ir.Program, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, f := range p.Funcs {
 		if !f.SSA {
 			return nil, fmt.Errorf("vrp: function %s is not in SSA form", f.Name)
 		}
 	}
-	return newDriver(p, cfg).run(), nil
+	return newDriver(p, cfg).run(ctx)
 }
 
 // callOrder returns functions roughly callers-before-callees starting at

@@ -20,6 +20,7 @@
 package vrp
 
 import (
+	"context"
 	"fmt"
 
 	"vrp/internal/ast"
@@ -86,6 +87,24 @@ func (p *Program) RunWith(input []int64, opts interp.Options) (*interp.Profile, 
 // custom Options without importing the internal package.
 type EngineConfig = corevrp.Config
 
+// Diagnostic is one structured analysis event (non-convergence demotion,
+// engine panic, step-budget degradation, cancellation). See
+// Analysis.Diagnostics.
+type Diagnostic = corevrp.Diagnostic
+
+// Diagnostic kinds, re-exported for switch statements on Diagnostic.Kind.
+const (
+	DiagNonConvergence = corevrp.DiagNonConvergence
+	DiagPanic          = corevrp.DiagPanic
+	DiagStepBudget     = corevrp.DiagStepBudget
+	DiagCancelled      = corevrp.DiagCancelled
+)
+
+// AnalysisError is the typed error a cancelled analysis returns; it
+// carries the partial stats and diagnostics and unwraps to the context
+// error, so errors.Is(err, context.Canceled) works.
+type AnalysisError = corevrp.AnalysisError
+
 // Option configures an analysis.
 type Option func(*EngineConfig)
 
@@ -124,6 +143,21 @@ func WithAssumedMagnitude(t int64) Option {
 // Results are bit-identical for every setting; only wall-clock changes.
 func WithWorkers(n int) Option {
 	return func(c *corevrp.Config) { c.Workers = n }
+}
+
+// WithContext attaches a cancellation context to the analysis, equivalent
+// to calling AnalyzeContext with it. Cancellation aborts the run with a
+// typed *AnalysisError carrying partial stats.
+func WithContext(ctx context.Context) Option {
+	return func(c *corevrp.Config) { c.Ctx = ctx }
+}
+
+// WithMaxEngineSteps bounds the worklist items one per-function engine
+// run may process (0 = unlimited, the default). A function exceeding the
+// budget is degraded to ⊥ ranges with heuristic branch probabilities and
+// reported via a step-budget diagnostic, instead of spinning.
+func WithMaxEngineSteps(n int) Option {
+	return func(c *corevrp.Config) { c.MaxEngineSteps = n }
 }
 
 // WithMaxEvals overrides the per-instruction structural-change budget
@@ -174,6 +208,16 @@ func (p *Program) Analyze(opts ...Option) (*Analysis, error) {
 	return &Analysis{Result: res, prog: p}, nil
 }
 
+// AnalyzeContext is Analyze under an explicit cancellation context: the
+// run aborts between functions (and, inside one function, every few
+// hundred worklist steps) once ctx is done, returning a typed
+// *AnalysisError with the partial stats. ctx overrides any WithContext
+// option.
+func (p *Program) AnalyzeContext(ctx context.Context, opts ...Option) (*Analysis, error) {
+	opts = append(opts, WithContext(ctx))
+	return p.Analyze(opts...)
+}
+
 // Prediction is one conditional branch's predicted behaviour.
 type Prediction struct {
 	Func   string
@@ -183,6 +227,21 @@ type Prediction struct {
 
 	Branch *ir.Instr // the underlying branch instruction
 	Fn     *ir.Func
+}
+
+// Converged reports whether the interprocedural fixpoint actually reached
+// a fixed point within the pass budget. When false, every surviving
+// optimistic ⊤ value has been demoted to ⊥ in the reported ranges and the
+// affected functions carry non-convergence diagnostics.
+func (a *Analysis) Converged() bool {
+	return a.Result.Stats.Converged
+}
+
+// Diagnostics returns the structured failure-path events of the run:
+// non-convergence demotions, per-function panic degradations, and
+// step-budget degradations, in deterministic order.
+func (a *Analysis) Diagnostics() []Diagnostic {
+	return a.Result.Diagnostics
 }
 
 // Predictions returns every conditional branch prediction in program
