@@ -36,6 +36,7 @@ func main() {
 		benchMode = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
 		benchOut  = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
 		benchIter = flag.Int("benchiter", 5, "timing iterations per -bench point")
+		quick     = flag.Bool("quick", false, "with -bench, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -43,7 +44,11 @@ func main() {
 	var err error
 	switch {
 	case *benchMode:
-		err = runDriverBench(w, *benchOut, *benchIter)
+		sizes, iters := bench.ScaledSizes, *benchIter
+		if *quick {
+			sizes, iters = bench.QuickSizes, 1
+		}
+		err = runDriverBench(w, *benchOut, sizes, iters)
 	case *summary:
 		err = bench.PrintSummary(w)
 		if err == nil {
@@ -101,8 +106,8 @@ type driverBenchReport struct {
 	Points     []bench.DriverPoint `json:"points"`
 }
 
-func runDriverBench(w *os.File, outPath string, iters int) error {
-	pts, err := bench.DriverScaling(bench.ScaledSizes, iters)
+func runDriverBench(w *os.File, outPath string, sizes []int, iters int) error {
+	pts, err := bench.DriverScaling(sizes, iters)
 	if err != nil {
 		return err
 	}
@@ -115,15 +120,20 @@ func runDriverBench(w *os.File, outPath string, iters int) error {
 		return err
 	}
 	fmt.Fprintf(w, "driver benchmark (%d workers), best of %d:\n", rep.GOMAXPROCS, iters)
-	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s %5s\n",
-		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped", "conv")
+	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s %5s %10s %7s %6s\n",
+		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped", "conv", "steps", "peakWL", "widen")
 	for _, p := range pts {
 		conv := "yes"
 		if !p.Converged {
 			conv = "NO"
 		}
-		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d %5s\n",
-			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped, conv)
+		peak := p.FlowPeak
+		if p.SSAPeak > peak {
+			peak = p.SSAPeak
+		}
+		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d %5s %10d %7d %6d\n",
+			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped, conv,
+			p.EngineSteps, peak, p.Widens)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	return nil

@@ -16,6 +16,14 @@
 //	             stream (integers)
 //	-profile     with -run (required), print observed branch probabilities
 //	             next to the predictions
+//	-trace FILE  run with telemetry and write a Chrome trace_event JSON
+//	             file (open in chrome://tracing or Perfetto)
+//	-telemetry   run with telemetry and print the run summary (engine
+//	             steps, worklist peaks, widenings, histograms) to stderr
+//	-explain F   explain one branch prediction: F is func:line (or just
+//	             func when it has a single branch); prints the derivation
+//	             chain behind the probability, or the Ball–Larus evidence
+//	             when the controlling range was ⊥
 //
 // Analysis diagnostics (non-convergence, degraded functions) are printed
 // to standard error; a run that did not converge exits with status 0 but
@@ -28,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"vrp"
 	"vrp/internal/ir"
@@ -41,6 +50,9 @@ func main() {
 		numeric    = flag.Bool("numeric", false, "disable symbolic ranges")
 		run        = flag.Bool("run", false, "execute the program on the inputs given after the file name")
 		profile    = flag.Bool("profile", false, "with -run, print observed branch probabilities")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the analysis run")
+		telemetry  = flag.Bool("telemetry", false, "print the telemetry summary of the analysis run to stderr")
+		explain    = flag.String("explain", "", "explain the branch at func:line (func alone if it has one branch)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -69,6 +81,9 @@ func main() {
 	if *numeric {
 		opts = append(opts, vrp.NumericOnly())
 	}
+	if *traceOut != "" || *telemetry {
+		opts = append(opts, vrp.WithTelemetry())
+	}
 	analysis, err := prog.Analyze(opts...)
 	if err != nil {
 		fatal(err)
@@ -78,6 +93,40 @@ func main() {
 	}
 	if !analysis.Converged() {
 		fmt.Fprintln(os.Stderr, "vrpc: warning: analysis did not converge; optimistic ranges were demoted to ⊥")
+	}
+	if snap := analysis.Telemetry(); snap != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snap.WriteChromeTrace(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vrpc: wrote %d trace events to %s\n", len(snap.Events), *traceOut)
+		}
+		if *telemetry {
+			fmt.Fprint(os.Stderr, snap.Summary())
+		}
+	}
+	if *explain != "" {
+		fn, line := *explain, 0
+		if i := strings.LastIndex(fn, ":"); i >= 0 {
+			n, err := strconv.Atoi(fn[i+1:])
+			if err != nil {
+				fatal(fmt.Errorf("bad -explain target %q: want func or func:line", *explain))
+			}
+			fn, line = fn[:i], n
+		}
+		be, err := analysis.ExplainBranch(fn, line)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(be.String())
+		return
 	}
 	if *dumpDot {
 		prog.IR.WriteDot(os.Stdout, func(f *ir.Func, e *ir.Edge) string {

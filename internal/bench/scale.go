@@ -8,6 +8,7 @@ import (
 	"vrp/internal/corpus"
 	"vrp/internal/heuristics"
 	"vrp/internal/ir"
+	"vrp/internal/telemetry"
 	corevrp "vrp/internal/vrp"
 )
 
@@ -69,6 +70,11 @@ func mergedProgram(progs []*corpus.Program) (*ir.Program, error) {
 // ScaledSizes is the K-prefix series used for the Figure 5/6 fits.
 var ScaledSizes = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 31}
 
+// QuickSizes is the abbreviated series for CI smoke runs (vrpbench -bench
+// -quick): small enough to finish in seconds, large enough to exercise the
+// parallel schedule and the skip path.
+var QuickSizes = []int{1, 4, 8}
+
 // ScaledPoints measures analysis cost on merged programs of growing size.
 func ScaledPoints(subOps bool) ([]Point, error) {
 	all := corpus.All()
@@ -118,6 +124,17 @@ type DriverPoint struct {
 	// (where ⊤ values were demoted); a benchmark point that did not
 	// converge is timing a different amount of work.
 	Converged bool `json:"converged"`
+
+	// Telemetry totals from a separate instrumented run of the same
+	// program (telemetry stays off during the timed runs, so the ns/op
+	// columns measure the disabled path). PassWallNs is the wall clock of
+	// each interprocedural pass of that run.
+	EngineSteps   int64   `json:"engine_steps"`
+	FlowPeak      int64   `json:"flow_peak"`
+	SSAPeak       int64   `json:"ssa_peak"`
+	Widens        int64   `json:"widens"`
+	BoundaryDrops int64   `json:"boundary_drops"`
+	PassWallNs    []int64 `json:"pass_wall_ns"`
 }
 
 // DriverScaling times the analysis of merged corpus programs of growing
@@ -151,11 +168,13 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := corevrp.Analyze(mp, parCfg)
+		telCfg := parCfg
+		telCfg.Telemetry = telemetry.New()
+		res, err := corevrp.Analyze(mp, telCfg)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, DriverPoint{
+		pt := DriverPoint{
 			Name:      fmt.Sprintf("merged-%d", k),
 			Instrs:    mp.NumInstrs(),
 			Funcs:     len(mp.Funcs),
@@ -166,7 +185,16 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 			Analyzed:  res.Stats.FuncsAnalyzed,
 			Skipped:   res.Stats.FuncsSkipped,
 			Converged: res.Stats.Converged,
-		})
+		}
+		if snap := res.Telemetry; snap != nil {
+			pt.EngineSteps = snap.Totals.Steps
+			pt.FlowPeak = snap.Totals.FlowPeak
+			pt.SSAPeak = snap.Totals.SSAPeak
+			pt.Widens = snap.Totals.Widens
+			pt.BoundaryDrops = snap.BoundaryDrops
+			pt.PassWallNs = snap.PassWallNs
+		}
+		pts = append(pts, pt)
 		if k == len(all) {
 			break
 		}

@@ -59,18 +59,33 @@ func NewBallLarus(p *ir.Program) *BallLarus {
 	return h
 }
 
+// Evidence is one applicable heuristic's contribution to a prediction:
+// the heuristic's name and the true-edge probability it asserts.
+type Evidence struct {
+	Name string  // "loop-branch", "loop-exit", "opcode", "call", "store", "return", "loop-header", "guard"
+	Prob float64 // asserted probability of the true out-edge
+}
+
 // Prob returns the predicted probability of the branch's true out-edge,
 // combining every applicable heuristic with Dempster–Shafer.
 func (h *BallLarus) Prob(f *ir.Func, br *ir.Instr) float64 {
-	fi := h.info[f]
-	if fi == nil || br.Block == nil || len(br.Block.Succs) != 2 {
-		return 0.5
-	}
 	p := 0.5
-	for _, ev := range h.evidence(f, fi, br) {
-		p = dempsterShafer(p, ev)
+	for _, ev := range h.Explain(f, br) {
+		p = dempsterShafer(p, ev.Prob)
 	}
 	return p
+}
+
+// Explain returns the evidence each applicable heuristic contributes to
+// the branch, in the fixed application order Prob combines them in — the
+// provenance record behind a heuristic prediction. Nil when no heuristic
+// applies (Prob then reports 0.5).
+func (h *BallLarus) Explain(f *ir.Func, br *ir.Instr) []Evidence {
+	fi := h.info[f]
+	if fi == nil || br.Block == nil || len(br.Block.Succs) != 2 {
+		return nil
+	}
+	return h.evidence(f, fi, br)
 }
 
 // dempsterShafer combines two independent probability estimates of the
@@ -85,25 +100,23 @@ func dempsterShafer(p1, p2 float64) float64 {
 }
 
 // evidence returns the true-edge probability asserted by each applicable
-// heuristic.
-func (h *BallLarus) evidence(f *ir.Func, fi *funcInfo, br *ir.Instr) []float64 {
-	var out []float64
+// heuristic, tagged with the heuristic's name.
+func (h *BallLarus) evidence(f *ir.Func, fi *funcInfo, br *ir.Instr) []Evidence {
+	var out []Evidence
 	b := br.Block
 	tEdge, fEdge := b.Succs[0], b.Succs[1]
 	loop := fi.loops.InnermostLoop(b.ID)
 
-	add := func(pTrue float64, applies bool) {
-		if applies {
-			out = append(out, pTrue)
-		}
+	add := func(name string, pTrue float64) {
+		out = append(out, Evidence{Name: name, Prob: pTrue})
 	}
 
 	// Loop branch heuristic: the edge back to the loop head is taken.
 	switch {
 	case fi.back[tEdge] && !fi.back[fEdge]:
-		add(probLoopBranch, true)
+		add("loop-branch", probLoopBranch)
 	case fi.back[fEdge] && !fi.back[tEdge]:
-		add(1-probLoopBranch, true)
+		add("loop-branch", 1-probLoopBranch)
 	}
 
 	// Loop exit heuristic: inside a loop, a comparison whose successors
@@ -112,16 +125,16 @@ func (h *BallLarus) evidence(f *ir.Func, fi *funcInfo, br *ir.Instr) []float64 {
 		tExits := !loop.Contains(tEdge.To.ID)
 		fExits := !loop.Contains(fEdge.To.ID)
 		if tExits && !fExits {
-			add(1-probLoopExit, true)
+			add("loop-exit", 1-probLoopExit)
 		} else if fExits && !tExits {
-			add(probLoopExit, true)
+			add("loop-exit", probLoopExit)
 		}
 	}
 
 	// Opcode heuristic: comparisons with zero / equality against a
 	// constant usually fail.
 	if p, ok := h.opcodeEvidence(f, br); ok {
-		add(p, true)
+		add("opcode", p)
 	}
 
 	// Successor-content heuristics. Each applies only when exactly one
@@ -132,7 +145,7 @@ func (h *BallLarus) evidence(f *ir.Func, fi *funcInfo, br *ir.Instr) []float64 {
 	// Guard heuristic: a successor that uses the compared value (and does
 	// not postdominate) is taken.
 	if p, ok := h.guardEvidence(f, fi, br, tEdge, fEdge); ok {
-		add(p, true)
+		add("guard", p)
 	}
 
 	return out
@@ -225,7 +238,7 @@ func (h *BallLarus) opcodeEvidence(f *ir.Func, br *ir.Instr) (float64, bool) {
 }
 
 // succEvidence applies the call, store, return and loop-header heuristics.
-func (h *BallLarus) succEvidence(fi *funcInfo, b *ir.Block, tEdge, fEdge *ir.Edge, out *[]float64) {
+func (h *BallLarus) succEvidence(fi *funcInfo, b *ir.Block, tEdge, fEdge *ir.Edge, out *[]Evidence) {
 	contains := func(blk *ir.Block, pred func(*ir.Instr) bool) bool {
 		for _, in := range blk.Instrs {
 			if pred(in) {
@@ -237,12 +250,12 @@ func (h *BallLarus) succEvidence(fi *funcInfo, b *ir.Block, tEdge, fEdge *ir.Edg
 	tPost := fi.post.PostDominates(tEdge.To.ID, b.ID)
 	fPost := fi.post.PostDominates(fEdge.To.ID, b.ID)
 
-	apply := func(pHeur float64, tHas, fHas bool) {
+	apply := func(name string, pHeur float64, tHas, fHas bool) {
 		switch {
 		case tHas && !fHas && !tPost:
-			*out = append(*out, 1-pHeur)
+			*out = append(*out, Evidence{Name: name, Prob: 1 - pHeur})
 		case fHas && !tHas && !fPost:
-			*out = append(*out, pHeur)
+			*out = append(*out, Evidence{Name: name, Prob: pHeur})
 		}
 	}
 
@@ -251,11 +264,11 @@ func (h *BallLarus) succEvidence(fi *funcInfo, b *ir.Block, tEdge, fEdge *ir.Edg
 	isRet := func(in *ir.Instr) bool { return in.Op == ir.OpRet }
 
 	// Call heuristic: the successor containing a call is not taken.
-	apply(probCall, contains(tEdge.To, isCall), contains(fEdge.To, isCall))
+	apply("call", probCall, contains(tEdge.To, isCall), contains(fEdge.To, isCall))
 	// Store heuristic: the successor containing a store is not taken.
-	apply(probStore, contains(tEdge.To, isStore), contains(fEdge.To, isStore))
+	apply("store", probStore, contains(tEdge.To, isStore), contains(fEdge.To, isStore))
 	// Return heuristic: the successor containing a return is not taken.
-	apply(probReturn, contains(tEdge.To, isRet), contains(fEdge.To, isRet))
+	apply("return", probReturn, contains(tEdge.To, isRet), contains(fEdge.To, isRet))
 
 	// Loop header heuristic: a successor that is a loop header (and does
 	// not postdominate) is taken.
@@ -266,9 +279,9 @@ func (h *BallLarus) succEvidence(fi *funcInfo, b *ir.Block, tEdge, fEdge *ir.Edg
 	tHead, fHead := isHeader(tEdge), isHeader(fEdge)
 	switch {
 	case tHead && !fHead && !tPost:
-		*out = append(*out, probLoopHeader)
+		*out = append(*out, Evidence{Name: "loop-header", Prob: probLoopHeader})
 	case fHead && !tHead && !fPost:
-		*out = append(*out, 1-probLoopHeader)
+		*out = append(*out, Evidence{Name: "loop-header", Prob: 1 - probLoopHeader})
 	}
 }
 

@@ -18,6 +18,7 @@ package ssaform
 
 import (
 	"fmt"
+	"sort"
 
 	"vrp/internal/dom"
 	"vrp/internal/ir"
@@ -284,7 +285,17 @@ func (b *builder) insertPhis() {
 			}
 		}
 	}
-	for r, sites := range defSites {
+	// Process registers in ascending order, not map order: φs are
+	// prepended to their block, so the iteration order here decides the
+	// instruction order of co-located φs — and with it the engine's
+	// evaluation order, which must be reproducible run to run.
+	regs := make([]ir.Reg, 0, len(defSites))
+	for r := range defSites {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		sites := defSites[r]
 		if b.defCount[r] < 2 {
 			continue
 		}

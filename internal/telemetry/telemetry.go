@@ -1,0 +1,472 @@
+// Package telemetry is the instrumentation layer of the analysis
+// pipeline: per-function and per-wave counters, span events exportable as
+// Chrome trace_event JSON, and the aggregation into a deterministic
+// Snapshot.
+//
+// Two properties shape the design:
+//
+//   - Disabled telemetry costs zero allocations on the engine hot path.
+//     The engine holds a *RunMetrics that is nil when telemetry is off;
+//     every recording method nil-checks its receiver and the methods are
+//     small enough to inline, so the disabled path compiles down to a
+//     compare-and-skip (TestDisabledRunMetricsZeroAlloc pins this).
+//   - Enabled telemetry is bit-identical across worker counts. Counters
+//     and events are written into per-function slots owned by the task
+//     analyzing that function (the same discipline the driver uses for
+//     results and diagnostics) and flattened in (pass, wave, function
+//     index) order, never in completion order. Wall-clock fields are the
+//     only nondeterministic data; Snapshot.Canon zeroes them so tests can
+//     compare everything else with reflect.DeepEqual.
+//
+// The package deliberately depends on the standard library only: the
+// driver translates IR-level observations (range widths, diagnostics)
+// into plain labels before they arrive here.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RunMetrics counts the work of one engine run. The engine increments it
+// through the nil-guarded methods below; the driver folds completed runs
+// into the function's FuncMetrics slot. A nil *RunMetrics is the disabled
+// state and every method is a no-op on it.
+type RunMetrics struct {
+	Steps      int64 // worklist items processed
+	FlowPushes int64 // CFG-edge worklist insertions
+	SSAPushes  int64 // SSA-edge worklist insertions
+	FlowPeak   int64 // peak CFG worklist depth
+	SSAPeak    int64 // peak SSA worklist depth
+	PhiMerges  int64 // weighted φ-merges evaluated
+	Widens     int64 // range-set widenings (MaxEvals ⊥-widens + set-cap merges)
+	DeriveHits int64 // loop φs matched by a derivation template
+	DeriveMiss int64 // derivation attempts that fell back to brute force
+	Asserts    int64 // assertion (π-node) refinements applied
+}
+
+// PushFlow records a CFG worklist insertion at the given queue depth.
+func (m *RunMetrics) PushFlow(depth int) {
+	if m == nil {
+		return
+	}
+	m.FlowPushes++
+	if int64(depth) > m.FlowPeak {
+		m.FlowPeak = int64(depth)
+	}
+}
+
+// PushSSA records an SSA worklist insertion at the given queue depth.
+func (m *RunMetrics) PushSSA(depth int) {
+	if m == nil {
+		return
+	}
+	m.SSAPushes++
+	if int64(depth) > m.SSAPeak {
+		m.SSAPeak = int64(depth)
+	}
+}
+
+// PhiMerge records one weighted φ-merge evaluation.
+func (m *RunMetrics) PhiMerge() {
+	if m != nil {
+		m.PhiMerges++
+	}
+}
+
+// Widen records one range-set widening.
+func (m *RunMetrics) Widen() {
+	if m != nil {
+		m.Widens++
+	}
+}
+
+// AddWidens folds externally counted widenings (the range calculator's
+// set-cap merges) into the run.
+func (m *RunMetrics) AddWidens(n int64) {
+	if m != nil {
+		m.Widens += n
+	}
+}
+
+// Assert records one assertion (π-node) refinement application.
+func (m *RunMetrics) Assert() {
+	if m != nil {
+		m.Asserts++
+	}
+}
+
+// FuncMetrics aggregates every run of one function across all passes.
+// Counter fields add; peak fields take the maximum over runs.
+type FuncMetrics struct {
+	Func     string // function name
+	Runs     int64  // engine runs (including degraded ones)
+	Skips    int64  // cache-skip hits (bit-identical inputs, run elided)
+	Degraded int64  // runs replaced by the ⊥/heuristic fallback
+	RunMetrics
+}
+
+// fold accumulates one run into the aggregate.
+func (f *FuncMetrics) fold(m *RunMetrics) {
+	f.Runs++
+	f.Steps += m.Steps
+	f.FlowPushes += m.FlowPushes
+	f.SSAPushes += m.SSAPushes
+	if m.FlowPeak > f.FlowPeak {
+		f.FlowPeak = m.FlowPeak
+	}
+	if m.SSAPeak > f.SSAPeak {
+		f.SSAPeak = m.SSAPeak
+	}
+	f.PhiMerges += m.PhiMerges
+	f.Widens += m.Widens
+	f.DeriveHits += m.DeriveHits
+	f.DeriveMiss += m.DeriveMiss
+	f.Asserts += m.Asserts
+}
+
+// addTotals accumulates another aggregate (for the snapshot's Totals row).
+func (f *FuncMetrics) addTotals(o *FuncMetrics) {
+	f.Runs += o.Runs
+	f.Skips += o.Skips
+	f.Degraded += o.Degraded
+	f.Steps += o.Steps
+	f.FlowPushes += o.FlowPushes
+	f.SSAPushes += o.SSAPushes
+	if o.FlowPeak > f.FlowPeak {
+		f.FlowPeak = o.FlowPeak
+	}
+	if o.SSAPeak > f.SSAPeak {
+		f.SSAPeak = o.SSAPeak
+	}
+	f.PhiMerges += o.PhiMerges
+	f.Widens += o.Widens
+	f.DeriveHits += o.DeriveHits
+	f.DeriveMiss += o.DeriveMiss
+	f.Asserts += o.Asserts
+}
+
+// Event is one span or instant on the analysis timeline. Start and Dur are
+// nanoseconds relative to Recorder.Begin and are the only nondeterministic
+// fields; everything else is identical across worker counts.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`            // "pass", "wave", "scc", "engine", "skip", "diag"
+	Ph   string            `json:"ph"`             // "X" complete span, "i" instant
+	Pass int               `json:"pass"`           // 0-based fixpoint pass; -1 if not applicable
+	Wave int               `json:"wave"`           // wave index within the pass; -1 for pass-level events
+	Func int               `json:"func"`           // function index; -1 for driver-level events
+	Args map[string]string `json:"args,omitempty"` // small deterministic payload
+
+	Start int64 `json:"start_ns"` // ns since Recorder.Begin (wall; zeroed by Canon)
+	Dur   int64 `json:"dur_ns"`   // span duration in ns (wall; zeroed by Canon)
+}
+
+// Key renders the deterministic identity of the event — everything except
+// the wall-clock fields — for sequence comparisons in tests.
+func (e Event) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s p%d w%d f%d", e.Cat, e.Ph, e.Name, e.Pass, e.Wave, e.Func)
+	if len(e.Args) > 0 {
+		keys := make([]string, 0, len(e.Args))
+		for k := range e.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, e.Args[k])
+		}
+	}
+	return b.String()
+}
+
+// catRank orders event categories within one (pass, wave, func) group so
+// the flattened stream is stable: enclosing spans before their children.
+func catRank(cat string) int {
+	switch cat {
+	case "pass":
+		return 0
+	case "wave":
+		return 1
+	case "scc":
+		return 2
+	case "engine", "skip":
+		return 3
+	default: // "diag" and anything future
+		return 4
+	}
+}
+
+// Histogram is a labelled counter vector. Labels are fixed at creation;
+// Add is bounds-clamped into the last bucket so callers can use open-ended
+// top buckets ("8+").
+type Histogram struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels"`
+	Counts []int64  `json:"counts"`
+}
+
+// NewHistogram creates an empty histogram over the given bucket labels.
+func NewHistogram(name string, labels ...string) *Histogram {
+	return &Histogram{Name: name, Labels: labels, Counts: make([]int64, len(labels))}
+}
+
+// Add increments bucket i, clamping into the final bucket.
+func (h *Histogram) Add(i int) {
+	if len(h.Counts) == 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+func (h *Histogram) String() string {
+	var b strings.Builder
+	b.WriteString(h.Name)
+	b.WriteString(":")
+	for i, l := range h.Labels {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", l, h.Counts[i])
+	}
+	return b.String()
+}
+
+// funcSlot is the per-function storage one analysis task owns. During a
+// parallel wave each slot is touched only by the task analyzing that
+// function, so no synchronization is needed — the same discipline the
+// driver uses for results and diagnostics.
+type funcSlot struct {
+	m      FuncMetrics
+	events []Event
+}
+
+// Recorder collects one analysis run's telemetry. A nil *Recorder is the
+// disabled state: the driver never calls into it and hands the engine a
+// nil *RunMetrics. A Recorder must not be shared between concurrent
+// analysis runs; Begin resets it.
+type Recorder struct {
+	start  time.Time
+	funcs  []funcSlot
+	driver []Event // pass/wave spans, emitted by the single-threaded driver loop
+	passNs []int64 // wall time per pass
+}
+
+// New returns an empty enabled Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Begin (re)initializes the recorder for a run over the named functions,
+// indexed by call-graph function index.
+func (r *Recorder) Begin(funcNames []string) {
+	r.start = time.Now()
+	r.funcs = make([]funcSlot, len(funcNames))
+	for i, n := range funcNames {
+		r.funcs[i].m.Func = n
+	}
+	r.driver = r.driver[:0]
+	r.passNs = r.passNs[:0]
+}
+
+// Now returns nanoseconds since Begin.
+func (r *Recorder) Now() int64 { return int64(time.Since(r.start)) }
+
+// EmitDriver appends a driver-level event (pass or wave span). Only the
+// single-threaded driver loop may call it.
+func (r *Recorder) EmitDriver(ev Event) { r.driver = append(r.driver, ev) }
+
+// EmitFunc appends an event to a function's slot. Only the task that owns
+// the function during the current wave may call it.
+func (r *Recorder) EmitFunc(fi int, ev Event) {
+	r.funcs[fi].events = append(r.funcs[fi].events, ev)
+}
+
+// StartRun returns a fresh RunMetrics for one engine run of function fi.
+func (r *Recorder) StartRun() *RunMetrics { return &RunMetrics{} }
+
+// EndRun folds a completed engine run into the function's slot and records
+// its span. outcome is "ok", "degraded:panic", "degraded:step-budget" or
+// "cancelled".
+func (r *Recorder) EndRun(fi, pass, wave int, m *RunMetrics, startNs int64, outcome string) {
+	slot := &r.funcs[fi]
+	slot.m.fold(m)
+	if strings.HasPrefix(outcome, "degraded") {
+		slot.m.Degraded++
+	}
+	slot.events = append(slot.events, Event{
+		Name:  "engine " + slot.m.Func,
+		Cat:   "engine",
+		Ph:    "X",
+		Pass:  pass,
+		Wave:  wave,
+		Func:  fi,
+		Args:  map[string]string{"steps": fmt.Sprint(m.Steps), "outcome": outcome},
+		Start: startNs,
+		Dur:   r.Now() - startNs,
+	})
+}
+
+// Skip records a cache-skip hit: the function's interprocedural inputs
+// were bit-identical to its previous run, so the engine was not re-run.
+func (r *Recorder) Skip(fi, pass, wave int) {
+	slot := &r.funcs[fi]
+	slot.m.Skips++
+	slot.events = append(slot.events, Event{
+		Name: "skip " + slot.m.Func,
+		Cat:  "skip",
+		Ph:   "i",
+		Pass: pass, Wave: wave, Func: fi,
+		Start: r.Now(),
+	})
+}
+
+// EndPass records one fixpoint pass's wall time.
+func (r *Recorder) EndPass(startNs int64) {
+	r.passNs = append(r.passNs, r.Now()-startNs)
+}
+
+// Snapshot is the aggregated result of a run. All fields except the
+// wall-clock ones (WallNs, PassWallNs, Event.Start/Dur) are deterministic:
+// identical for every worker count.
+type Snapshot struct {
+	// Funcs holds per-function aggregates in call-graph index order.
+	Funcs []FuncMetrics `json:"funcs"`
+	// Totals sums Funcs (peaks: maxima). Totals.Func is "".
+	Totals FuncMetrics `json:"totals"`
+
+	// Passes is the number of fixpoint passes executed; PassWallNs the
+	// wall time of each (nondeterministic).
+	Passes     int     `json:"passes"`
+	PassWallNs []int64 `json:"pass_wall_ns"`
+	WallNs     int64   `json:"wall_ns"`
+
+	// BoundaryDrops counts symbolic values collapsed to ⊥ while crossing
+	// a function boundary (interprocedural sanitization) — lattice
+	// precision lost to the single-ancestor representation.
+	BoundaryDrops int64 `json:"boundary_drops"`
+
+	// RangeSetSize buckets every final register value by lattice level
+	// and range-set cardinality; RangeSpan buckets Set values by their
+	// widest numeric range; PassRuns buckets functions by how many passes
+	// actually re-ran their engine (the pass-count histogram).
+	RangeSetSize *Histogram `json:"range_set_size,omitempty"`
+	RangeSpan    *Histogram `json:"range_span,omitempty"`
+	PassRuns     *Histogram `json:"pass_runs,omitempty"`
+
+	// Events is the flattened trace in deterministic (pass, wave,
+	// category, function index, slot order) order.
+	Events []Event `json:"events"`
+}
+
+// Snapshot flattens the recorder into its deterministic aggregate. The
+// driver fills the histogram and BoundaryDrops fields afterwards (they
+// need IR-level context this package does not depend on).
+func (r *Recorder) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Funcs:      make([]FuncMetrics, len(r.funcs)),
+		Passes:     len(r.passNs),
+		PassWallNs: append([]int64(nil), r.passNs...),
+		WallNs:     r.Now(),
+	}
+	s.Totals.Func = ""
+	for i := range r.funcs {
+		s.Funcs[i] = r.funcs[i].m
+		s.Totals.addTotals(&r.funcs[i].m)
+	}
+	var evs []Event
+	evs = append(evs, r.driver...)
+	for i := range r.funcs {
+		evs = append(evs, r.funcs[i].events...)
+	}
+	// Deterministic order: pass, then wave (-1 first: the pass span
+	// encloses its waves), then category rank, then function index, then
+	// original slot order (SliceStable preserves it).
+	sort.SliceStable(evs, func(a, b int) bool {
+		x, y := evs[a], evs[b]
+		if x.Pass != y.Pass {
+			return x.Pass < y.Pass
+		}
+		if x.Wave != y.Wave {
+			return x.Wave < y.Wave
+		}
+		if cr, cs := catRank(x.Cat), catRank(y.Cat); cr != cs {
+			return cr < cs
+		}
+		return x.Func < y.Func
+	})
+	s.Events = evs
+	return s
+}
+
+// Canon returns a deep copy with every wall-clock field zeroed, leaving
+// exactly the data that must be bit-identical across worker counts.
+func (s *Snapshot) Canon() *Snapshot {
+	c := *s
+	c.Funcs = append([]FuncMetrics(nil), s.Funcs...)
+	c.WallNs = 0
+	c.PassWallNs = make([]int64, len(s.PassWallNs))
+	c.RangeSetSize = s.RangeSetSize.clone()
+	c.RangeSpan = s.RangeSpan.clone()
+	c.PassRuns = s.PassRuns.clone()
+	c.Events = make([]Event, len(s.Events))
+	for i, ev := range s.Events {
+		ev.Start, ev.Dur = 0, 0
+		c.Events[i] = ev
+	}
+	return &c
+}
+
+func (h *Histogram) clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	return &Histogram{
+		Name:   h.Name,
+		Labels: append([]string(nil), h.Labels...),
+		Counts: append([]int64(nil), h.Counts...),
+	}
+}
+
+// EventKeys returns the deterministic identity sequence of the trace.
+func (s *Snapshot) EventKeys() []string {
+	keys := make([]string, len(s.Events))
+	for i, ev := range s.Events {
+		keys[i] = ev.Key()
+	}
+	return keys
+}
+
+// Summary renders a compact human-readable digest of the snapshot.
+func (s *Snapshot) Summary() string {
+	var b strings.Builder
+	t := &s.Totals
+	fmt.Fprintf(&b, "telemetry: %d funcs, %d passes, wall %s\n",
+		len(s.Funcs), s.Passes, time.Duration(s.WallNs))
+	fmt.Fprintf(&b, "  engine: steps=%d flow-pushes=%d (peak %d) ssa-pushes=%d (peak %d)\n",
+		t.Steps, t.FlowPushes, t.FlowPeak, t.SSAPushes, t.SSAPeak)
+	fmt.Fprintf(&b, "  lattice: phi-merges=%d widens=%d asserts=%d derive-hits=%d derive-misses=%d boundary-drops=%d\n",
+		t.PhiMerges, t.Widens, t.Asserts, t.DeriveHits, t.DeriveMiss, s.BoundaryDrops)
+	fmt.Fprintf(&b, "  driver: runs=%d skips=%d degraded=%d\n", t.Runs, t.Skips, t.Degraded)
+	for _, h := range []*Histogram{s.RangeSetSize, s.RangeSpan, s.PassRuns} {
+		if h != nil && h.Total() > 0 {
+			fmt.Fprintf(&b, "  %s\n", h.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: the snapshot's span events serialize to the
+// JSON Object Format consumed by chrome://tracing and Perfetto
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Driver-level events (passes, waves) land on tid 0 ("driver"); each
+// function gets its own tid so per-function engine runs stack into
+// per-function rows across passes.
+
+// chromeEvent is one trace_event record. ts and dur are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant-event scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the snapshot's events as Chrome trace JSON.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	const pid = 1
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+
+	// Thread-name metadata: tid 0 is the driver, tid fi+1 each function.
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]string{"name": "driver"},
+	})
+	for fi, fm := range s.Funcs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: fi + 1,
+			Args: map[string]string{"name": fm.Func},
+		})
+	}
+
+	for _, ev := range s.Events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   ev.Ph,
+			Ts:   float64(ev.Start) / 1e3,
+			Pid:  pid,
+			Tid:  ev.Func + 1, // driver events have Func == -1 → tid 0
+			Args: ev.Args,
+		}
+		if ev.Ph == "X" {
+			ce.Dur = float64(ev.Dur) / 1e3
+		}
+		if ev.Ph == "i" {
+			ce.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}

@@ -37,10 +37,16 @@ func DefaultConfig() Config {
 }
 
 // Calc performs range arithmetic under a Config, counting sub-operations
-// (range-pair evaluations) for the paper's Figure 6 instrumentation.
+// (range-pair evaluations) for the paper's Figure 6 instrumentation and
+// widenings (set-cap merges and give-ups to ⊥) for the telemetry layer.
 type Calc struct {
 	Cfg    Config
 	SubOps int64
+	// Widens counts precision losses inside Canonicalize: every merge
+	// forced by the MaxRanges cap and every give-up to ⊥ on incompatible
+	// symbolic ranges. A plain counter like SubOps, so the hot path never
+	// allocates.
+	Widens int64
 }
 
 // NewCalc returns a Calc with the given configuration.
@@ -101,6 +107,7 @@ func (c *Calc) Canonicalize(v Value) Value {
 	rs = out
 	// Cap at MaxRanges by repeatedly merging the cheapest compatible pair.
 	for len(rs) > c.Cfg.MaxRanges {
+		c.Widens++
 		i, j, ok := c.cheapestMergePair(rs)
 		if !ok {
 			return BottomValue()

@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"vrp/internal/callgraph"
 	"vrp/internal/ir"
+	"vrp/internal/telemetry"
 	"vrp/internal/vrange"
 )
 
@@ -120,6 +123,13 @@ type driver struct {
 	// exactly as the classic sequential driver did.
 	sccFuncs [][]int
 
+	// rec is the run's telemetry recorder, nil when disabled. Counters
+	// and events go into per-function slots (owned by the task analyzing
+	// the function, like results and diags), so enabled telemetry is
+	// bit-identical across worker counts; wall-clock durations are the
+	// only nondeterministic fields.
+	rec *telemetry.Recorder
+
 	pass      int // current 0-based pass, for diagnostics
 	stats     statCounters
 	changed   atomic.Bool
@@ -140,6 +150,14 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 		prevFP:   make([]uint64, n),
 		poisoned: make([]bool, n),
 		diags:    make([][]Diagnostic, n),
+		rec:      cfg.Telemetry,
+	}
+	if d.rec != nil {
+		names := make([]string, n)
+		for i, f := range cg.Funcs {
+			names[i] = f.Name
+		}
+		d.rec.Begin(names)
 	}
 	if d.workers <= 0 {
 		d.workers = runtime.GOMAXPROCS(0)
@@ -178,12 +196,37 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 		d.pass = pass
 		res.Stats.Passes++
 		d.changed.Store(false)
-		for _, wave := range d.cg.Waves {
+		var passStart int64
+		if d.rec != nil {
+			passStart = d.rec.Now()
+		}
+		for wi, wave := range d.cg.Waves {
 			if d.cancelled.Load() || ctx.Err() != nil {
 				d.cancelled.Store(true)
 				break
 			}
-			d.runWave(wave)
+			var waveStart int64
+			if d.rec != nil {
+				waveStart = d.rec.Now()
+			}
+			d.runWave(wi, wave)
+			if d.rec != nil {
+				d.rec.EmitDriver(telemetry.Event{
+					Name: "wave " + strconv.Itoa(wi), Cat: "wave", Ph: "X",
+					Pass: pass, Wave: wi, Func: -1,
+					Args:  map[string]string{"sccs": strconv.Itoa(len(wave))},
+					Start: waveStart, Dur: d.rec.Now() - waveStart,
+				})
+			}
+		}
+		if d.rec != nil {
+			d.rec.EmitDriver(telemetry.Event{
+				Name: "pass " + strconv.Itoa(pass), Cat: "pass", Ph: "X",
+				Pass: pass, Wave: -1, Func: -1,
+				Args:  map[string]string{"changed": strconv.FormatBool(d.changed.Load())},
+				Start: passStart, Dur: d.rec.Now() - passStart,
+			})
+			d.rec.EndPass(passStart)
 		}
 		if d.cancelled.Load() || !d.changed.Load() {
 			break
@@ -207,7 +250,99 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 		res.Funcs[f] = d.results[i]
 	}
 	res.Diagnostics = d.collectDiags()
+	d.finishTelemetry(res, passes)
 	return res, nil
+}
+
+// finishTelemetry attaches the aggregated snapshot to the result: diag
+// instant events, the interprocedural boundary-drop count, and the three
+// histograms (range-set size, range span, per-function pass counts) that
+// need IR-level context the telemetry package does not depend on.
+func (d *driver) finishTelemetry(res *Result, maxPasses int) {
+	if d.rec == nil {
+		return
+	}
+	for fi, ds := range d.diags {
+		for _, dg := range ds {
+			d.rec.EmitFunc(fi, telemetry.Event{
+				Name: "diag " + dg.Kind.String(), Cat: "diag", Ph: "i",
+				Pass: dg.Pass, Wave: -1, Func: fi,
+				Args:  map[string]string{"kind": dg.Kind.String()},
+				Start: d.rec.Now(),
+			})
+		}
+	}
+	snap := d.rec.Snapshot()
+	snap.BoundaryDrops = d.ip.drops.Load()
+
+	setSize := telemetry.NewHistogram("range-set-size", "⊤", "⊥", "∅", "1", "2", "3", "4", "5+")
+	span := telemetry.NewHistogram("range-span", "point", "≤8", "≤64", "≤512", "≤4096", ">4096", "symbolic")
+	for _, fr := range d.results {
+		if fr == nil {
+			continue
+		}
+		for _, v := range fr.Val {
+			observeValue(setSize, span, v)
+		}
+	}
+	snap.RangeSetSize = setSize
+	snap.RangeSpan = span
+
+	labels := make([]string, maxPasses+1)
+	for i := range labels {
+		labels[i] = strconv.Itoa(i)
+	}
+	passRuns := telemetry.NewHistogram("pass-runs-per-func", labels...)
+	for _, fm := range snap.Funcs {
+		passRuns.Add(int(fm.Runs))
+	}
+	snap.PassRuns = passRuns
+	res.Telemetry = snap
+}
+
+// observeValue buckets one final register value into the range-set-size
+// and range-span histograms.
+func observeValue(setSize, span *telemetry.Histogram, v vrange.Value) {
+	switch {
+	case v.IsTop():
+		setSize.Add(0)
+		return
+	case v.IsBottom():
+		setSize.Add(1)
+		return
+	case v.IsInfeasible():
+		setSize.Add(2)
+		return
+	}
+	setSize.Add(2 + len(v.Ranges)) // "1" is bucket 3
+
+	width, symbolic := int64(0), false
+	for _, r := range v.Ranges {
+		w, ok := r.Hi.Diff(r.Lo)
+		if !ok {
+			symbolic = true
+			break
+		}
+		if w > width {
+			width = w
+		}
+	}
+	switch {
+	case symbolic:
+		span.Add(6)
+	case width == 0:
+		span.Add(0)
+	case width <= 8:
+		span.Add(1)
+	case width <= 64:
+		span.Add(2)
+	case width <= 512:
+		span.Add(3)
+	case width <= 4096:
+		span.Add(4)
+	default:
+		span.Add(5)
+	}
 }
 
 func (d *driver) fillStats(s *Stats) {
@@ -266,7 +401,7 @@ func (d *driver) demoteUnconverged(passes int) {
 
 // runWave analyzes every SCC of one wave, concurrently when the pool and
 // the wave allow it.
-func (d *driver) runWave(wave []int) {
+func (d *driver) runWave(wi int, wave []int) {
 	nw := d.workers
 	if nw > len(wave) {
 		nw = len(wave)
@@ -276,7 +411,7 @@ func (d *driver) runWave(wave []int) {
 			if d.cancelled.Load() {
 				return
 			}
-			d.runSCC(scc)
+			d.runSCC(wi, scc)
 		}
 		return
 	}
@@ -291,7 +426,7 @@ func (d *driver) runWave(wave []int) {
 				if i >= len(wave) || d.cancelled.Load() {
 					return
 				}
-				d.runSCC(wave[i])
+				d.runSCC(wi, wave[i])
 			}
 		}()
 	}
@@ -304,7 +439,7 @@ func (d *driver) runWave(wave []int) {
 // run is panic-isolated: a panic (or an exhausted step budget) degrades
 // that one function to the ⊥/heuristic fallback and quarantines it,
 // instead of killing the process from a worker goroutine.
-func (d *driver) runSCC(scc int) {
+func (d *driver) runSCC(wi, scc int) {
 	var local statCounters
 	changed := false
 	for _, fi := range d.sccFuncs[scc] {
@@ -326,9 +461,30 @@ func (d *driver) runSCC(scc int) {
 			// would reproduce the stored result and table updates exactly.
 			local.funcsSkipped++
 			local.subOps += calc.SubOps
+			if d.rec != nil {
+				d.rec.Skip(fi, d.pass, wi)
+			}
 			continue
 		}
-		eng, panicked := d.runEngine(fi, calc, in)
+		var rm *telemetry.RunMetrics
+		var t0 int64
+		if d.rec != nil {
+			rm = d.rec.StartRun()
+			t0 = d.rec.Now()
+		}
+		eng, panicked := d.runEngine(fi, calc, in, rm)
+		endRun := func(outcome string) {
+			if d.rec == nil {
+				return
+			}
+			if eng != nil { // nil after a panic: the engine (and its stats) were discarded
+				rm.DeriveHits = eng.stats.DerivedLoops
+				rm.DeriveMiss = eng.stats.FailedDerives
+				rm.Steps = eng.steps
+			}
+			rm.AddWidens(calc.Widens)
+			d.rec.EndRun(fi, d.pass, wi, rm, t0, outcome)
+		}
 		if panicked != nil {
 			d.degradeFunc(fi, calc, &local, &changed, Diagnostic{
 				Kind:       DiagPanic,
@@ -339,10 +495,12 @@ func (d *driver) runSCC(scc int) {
 				PanicValue: panicked,
 			})
 			local.subOps += calc.SubOps
+			endRun("degraded:panic")
 			continue
 		}
 		switch eng.abort {
 		case abortCancelled:
+			endRun("cancelled")
 			d.cancelled.Store(true)
 			d.stats.addAtomic(&local)
 			if changed {
@@ -366,6 +524,7 @@ func (d *driver) runSCC(scc int) {
 			local.derivedLoops += eng.stats.DerivedLoops
 			local.failedDerives += eng.stats.FailedDerives
 			local.subOps += calc.SubOps
+			endRun("degraded:step-budget")
 			continue
 		}
 		d.results[fi] = eng.result()
@@ -381,6 +540,7 @@ func (d *driver) runSCC(scc int) {
 		local.derivedLoops += eng.stats.DerivedLoops
 		local.failedDerives += eng.stats.FailedDerives
 		local.subOps += calc.SubOps
+		endRun("ok")
 	}
 	d.stats.addAtomic(&local)
 	if changed {
@@ -390,15 +550,31 @@ func (d *driver) runSCC(scc int) {
 
 // runEngine runs one function's engine inside a recover barrier. On panic
 // it returns (nil, recovered-value); the partially mutated engine is
-// discarded.
-func (d *driver) runEngine(fi int, calc *vrange.Calc, in *funcInputs) (eng *engine, panicked any) {
+// discarded (rm keeps whatever the run recorded up to the panic). When
+// telemetry is on, the run carries pprof goroutine labels so CPU profiles
+// attribute samples to the function/pass/wave under analysis.
+func (d *driver) runEngine(fi int, calc *vrange.Calc, in *funcInputs, rm *telemetry.RunMetrics) (eng *engine, panicked any) {
 	defer func() {
 		if r := recover(); r != nil {
 			eng, panicked = nil, r
 		}
 	}()
-	eng = newEngine(d.ctx, d.cg.Funcs[fi], d.cfg, calc, d.prog, in)
-	eng.run()
+	run := func() {
+		eng = newEngine(d.ctx, d.cg.Funcs[fi], d.cfg, calc, d.prog, in, rm)
+		eng.run()
+	}
+	if rm != nil {
+		ctx := d.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		pprof.Do(ctx, pprof.Labels(
+			"vrp_func", d.cg.Funcs[fi].Name,
+			"vrp_pass", strconv.Itoa(d.pass),
+		), func(context.Context) { run() })
+	} else {
+		run()
+	}
 	return eng, nil
 }
 

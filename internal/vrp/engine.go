@@ -7,6 +7,7 @@ import (
 	"vrp/internal/dom"
 	"vrp/internal/freq"
 	"vrp/internal/ir"
+	"vrp/internal/telemetry"
 	"vrp/internal/vrange"
 )
 
@@ -30,6 +31,11 @@ type engine struct {
 	irProg *ir.Program
 	in     *funcInputs
 	ctx    context.Context
+
+	// tm is this run's telemetry, nil when disabled. Hot-path recording
+	// goes through its nil-guarded methods, so the disabled path is a
+	// compare-and-skip with zero allocations (see internal/telemetry).
+	tm *telemetry.RunMetrics
 
 	steps int64       // worklist items processed by this run
 	abort abortReason // set when the run stops before its fixed point
@@ -67,7 +73,7 @@ type engine struct {
 	stats Stats
 }
 
-func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs) *engine {
+func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs, tm *telemetry.RunMetrics) *engine {
 	e := &engine{
 		f:             f,
 		cfg:           cfg,
@@ -75,6 +81,7 @@ func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, p
 		irProg:        prog,
 		in:            in,
 		ctx:           ctx,
+		tm:            tm,
 		val:           make([]vrange.Value, f.NumRegs),
 		edgeFreq:      make([]float64, len(f.Edges)),
 		blkFreq:       make([]float64, len(f.Blocks)),
@@ -142,6 +149,7 @@ func (e *engine) pushFlow(ed *ir.Edge) {
 	if !e.inFlow[ed] {
 		e.inFlow[ed] = true
 		e.flowWL = append(e.flowWL, ed)
+		e.tm.PushFlow(len(e.flowWL) - e.flowHead)
 	}
 }
 
@@ -149,6 +157,7 @@ func (e *engine) pushSSA(in *ir.Instr) {
 	if !e.inSSA[in] {
 		e.inSSA[in] = true
 		e.ssaWL = append(e.ssaWL, in)
+		e.tm.PushSSA(len(e.ssaWL) - e.ssaHead)
 	}
 }
 
@@ -273,6 +282,7 @@ func (e *engine) setValue(in *ir.Instr, nv vrange.Value) {
 	if !nv.SameShape(old) {
 		e.evalCount[in]++
 		if e.evalCount[in] > e.cfg.MaxEvals {
+			e.tm.Widen()
 			nv = vrange.BottomValue()
 			if nv.Equal(old) {
 				return
@@ -426,6 +436,7 @@ func (e *engine) evalInstr(in *ir.Instr) {
 		}
 		nv = e.calc.Apply(in.BinOp, a, b)
 	case ir.OpAssert:
+		e.tm.Assert()
 		other := vrange.Const(in.Const)
 		if in.B != ir.None {
 			other = e.symVal(in.B)
@@ -520,10 +531,12 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 		}
 	}
 	if same && len(ops) > 1 {
+		e.tm.PhiMerge()
 		e.setValue(phi, e.calc.MergeAssertionFamily(e.val[origin]))
 		return
 	}
 
+	e.tm.PhiMerge()
 	items := make([]vrange.Weighted, len(ops))
 	for i, o := range ops {
 		items[i] = vrange.Weighted{Val: e.val[o.reg], W: o.w}
@@ -634,6 +647,7 @@ func (e *engine) result() *FuncResult {
 		EdgeFreq:     e.edgeFreq,
 		BranchProb:   e.branchP,
 		BranchSource: e.branchSrc,
+		Derived:      e.derived,
 	}
 	return fr
 }

@@ -2,6 +2,7 @@ package vrp
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"vrp/internal/callgraph"
 	"vrp/internal/ir"
@@ -31,6 +32,11 @@ type interproc struct {
 	// into callee. nil until the caller has been analyzed once.
 	args    [][]*callerArgs
 	retVals []vrange.Value // function index → merged return range
+
+	// drops counts symbolic values collapsed to ⊥ at function boundaries
+	// by sanitize — the telemetry layer's measure of interprocedural
+	// precision loss. Atomic because concurrent wave tasks fold results.
+	drops atomic.Int64
 }
 
 type callerArgs struct {
@@ -104,13 +110,14 @@ func (ip *interproc) returnValue(ci int) vrange.Value {
 
 // sanitize strips caller-local symbolic bounds from a value crossing a
 // function boundary: the representation's ancestor variables are SSA names
-// of a single function.
-func sanitize(v vrange.Value) vrange.Value {
+// of a single function. Each collapse to ⊥ is counted in ip.drops.
+func (ip *interproc) sanitize(v vrange.Value) vrange.Value {
 	if v.Kind() != vrange.Set {
 		return v
 	}
 	for _, r := range v.Ranges {
 		if !r.Lo.IsNum() || !r.Hi.IsNum() {
+			ip.drops.Add(1)
 			return vrange.BottomValue()
 		}
 	}
@@ -144,7 +151,7 @@ func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Bloc
 		if w <= 0 {
 			continue
 		}
-		items = append(items, vrange.Weighted{Val: sanitize(vals[t.A]), W: w})
+		items = append(items, vrange.Weighted{Val: ip.sanitize(vals[t.A]), W: w})
 	}
 	newRet := calc.Merge(items)
 	if !newRet.Equal(ip.retVals[fi]) {
@@ -183,7 +190,7 @@ func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Bloc
 			for i := range callee.Params {
 				var av vrange.Value = vrange.BottomValue()
 				if i < len(in.Args) {
-					av = sanitize(vals[in.Args[i]])
+					av = ip.sanitize(vals[in.Args[i]])
 				}
 				acc.items[i] = append(acc.items[i], vrange.Weighted{Val: av, W: w})
 			}

@@ -1,0 +1,170 @@
+package vrp
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vrp/internal/telemetry"
+)
+
+// telemetrySrc mixes the behaviours the snapshot must account for: a
+// derived loop, interprocedural calls analyzed across waves, branches and
+// assertions — enough to populate every counter and histogram.
+const telemetrySrc = `
+func clamp(x) {
+	if (x > 100) { return 100; }
+	return x;
+}
+func sum(n) {
+	var s = 0;
+	for (var i = 0; i < n; i++) {
+		s = s + clamp(i);
+	}
+	return s;
+}
+func main() {
+	print(sum(50));
+}
+`
+
+func telemetrySnapshot(t *testing.T, workers int) (*Result, *telemetry.Snapshot) {
+	t.Helper()
+	p := compile(t, telemetrySrc)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Telemetry = telemetry.New()
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry is nil with telemetry enabled")
+	}
+	return res, res.Telemetry
+}
+
+// TestTelemetryDeterministicAcrossWorkers is the telemetry half of the
+// driver's bit-identity contract: the aggregated snapshot — counters,
+// histograms, and the full trace event sequence — must be identical for
+// the sequential and the maximally parallel schedule, once wall-clock
+// fields are canonicalized away. Run under -race this also shakes out
+// unsynchronized slot access.
+func TestTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	_, seq := telemetrySnapshot(t, 1)
+	_, par := telemetrySnapshot(t, 8)
+	a, b := seq.Canon(), par.Canon()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshots differ between Workers=1 and Workers=8:\n%v\nvs\n%v", a.Summary(), b.Summary())
+	}
+	if !reflect.DeepEqual(seq.EventKeys(), par.EventKeys()) {
+		t.Errorf("trace event sequences differ:\nseq: %v\npar: %v", seq.EventKeys(), par.EventKeys())
+	}
+}
+
+// TestTelemetryMatchesStats cross-checks the snapshot against the
+// independently counted Stats: runs and skips must agree exactly, and the
+// pass count and wall-clock slots must line up.
+func TestTelemetryMatchesStats(t *testing.T) {
+	res, snap := telemetrySnapshot(t, 1)
+	if snap.Totals.Runs != res.Stats.FuncsAnalyzed {
+		t.Errorf("telemetry runs = %d, stats FuncsAnalyzed = %d", snap.Totals.Runs, res.Stats.FuncsAnalyzed)
+	}
+	if snap.Totals.Skips != res.Stats.FuncsSkipped {
+		t.Errorf("telemetry skips = %d, stats FuncsSkipped = %d", snap.Totals.Skips, res.Stats.FuncsSkipped)
+	}
+	if snap.Totals.DeriveHits != res.Stats.DerivedLoops {
+		t.Errorf("telemetry derive hits = %d, stats DerivedLoops = %d", snap.Totals.DeriveHits, res.Stats.DerivedLoops)
+	}
+	if snap.Passes != res.Stats.Passes || len(snap.PassWallNs) != snap.Passes {
+		t.Errorf("passes: snapshot %d (%d wall slots), stats %d", snap.Passes, len(snap.PassWallNs), res.Stats.Passes)
+	}
+	if snap.Totals.Steps <= 0 {
+		t.Error("no engine steps recorded")
+	}
+	if snap.Totals.FlowPeak <= 0 || snap.Totals.SSAPeak <= 0 {
+		t.Errorf("worklist peaks not recorded: flow=%d ssa=%d", snap.Totals.FlowPeak, snap.Totals.SSAPeak)
+	}
+	if snap.Totals.Asserts <= 0 || snap.Totals.PhiMerges <= 0 {
+		t.Errorf("lattice counters not recorded: asserts=%d phi-merges=%d", snap.Totals.Asserts, snap.Totals.PhiMerges)
+	}
+	// One per-function slot per call-graph function, in index order.
+	if len(snap.Funcs) != len(res.Prog.Funcs) {
+		t.Errorf("snapshot has %d function slots, program has %d", len(snap.Funcs), len(res.Prog.Funcs))
+	}
+	// Histograms are populated and account for every final register value.
+	total := 0
+	for _, fr := range res.Funcs {
+		total += len(fr.Val)
+	}
+	if got := snap.RangeSetSize.Total(); got != int64(total) {
+		t.Errorf("range-set-size histogram totals %d values, program has %d registers", got, total)
+	}
+	if snap.PassRuns.Total() != int64(len(res.Prog.Funcs)) {
+		t.Errorf("pass-runs histogram totals %d, want one sample per function (%d)", snap.PassRuns.Total(), len(res.Prog.Funcs))
+	}
+}
+
+// TestTelemetryDisabledIsFree pins the other half of the contract: with
+// telemetry off (the default), the result carries no snapshot and the
+// engine hot path takes the nil fast path (the zero-allocation guarantee
+// itself is pinned by AllocsPerRun in internal/telemetry).
+func TestTelemetryDisabledIsFree(t *testing.T) {
+	res := analyze(t, telemetrySrc, DefaultConfig())
+	if res.Telemetry != nil {
+		t.Fatal("Result.Telemetry non-nil without Config.Telemetry")
+	}
+}
+
+// TestTelemetryDegradedRun verifies the failure paths surface in the
+// snapshot: a step-budget degradation shows up as a degraded run in the
+// function's slot and as a diag event in the flattened stream.
+func TestTelemetryDegradedRun(t *testing.T) {
+	p := compile(t, telemetrySrc)
+	cfg := DefaultConfig()
+	cfg.MaxEngineSteps = 1
+	cfg.Telemetry = telemetry.New()
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	snap := res.Telemetry
+	if snap.Totals.Degraded == 0 {
+		t.Error("no degraded runs recorded")
+	}
+	foundDiag := false
+	for _, ev := range snap.Events {
+		if ev.Cat == "diag" {
+			foundDiag = true
+			break
+		}
+	}
+	if !foundDiag {
+		t.Error("no diag event in the flattened stream")
+	}
+}
+
+// TestTelemetryTraceExport round-trips a real analysis through the Chrome
+// trace writer: the JSON must parse and contain every snapshot event plus
+// the thread-name metadata rows.
+func TestTelemetryTraceExport(t *testing.T) {
+	_, snap := telemetrySnapshot(t, 0)
+	var buf bytes.Buffer
+	if err := snap.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	want := len(snap.Events) + len(snap.Funcs) + 1
+	if len(parsed.TraceEvents) != want {
+		t.Errorf("trace has %d events, want %d", len(parsed.TraceEvents), want)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"vrp/internal/ir"
+	"vrp/internal/telemetry"
 	"vrp/internal/vrange"
 )
 
@@ -81,6 +82,13 @@ type Config struct {
 	// Ctx optionally carries a cancellation context into Analyze; nil
 	// means context.Background(). AnalyzeContext overrides it.
 	Ctx context.Context
+
+	// Telemetry, when non-nil, collects per-function metrics, trace
+	// spans and histograms for the run; the aggregated snapshot is
+	// attached to Result.Telemetry. A Recorder serves one analysis run
+	// at a time (the driver resets it via Begin). nil — the default —
+	// disables collection at zero cost on the engine hot path.
+	Telemetry *telemetry.Recorder
 
 	// noSkip disables the driver's dirty-set work skipping (test-only: the
 	// skip-soundness tests compare a full re-analysis against the
@@ -178,6 +186,11 @@ type FuncResult struct {
 	// BranchSource records how each probability was obtained.
 	BranchSource map[*ir.Instr]PredictionSource
 
+	// Derived marks the loop-carried φs whose value came from a §3.6
+	// derivation template (rather than weighted merging) in the
+	// function's final engine run; provenance for ExplainBranch.
+	Derived map[*ir.Instr]bool
+
 	// Degraded marks a function whose engine panicked or ran out of step
 	// budget: Val is all ⊥ and every branch probability is heuristic.
 	Degraded bool
@@ -193,6 +206,11 @@ type Result struct {
 	// (non-convergence demotions, panics, step-budget degradations), in
 	// deterministic order: function index, then pass.
 	Diagnostics []Diagnostic
+
+	// Telemetry is the aggregated instrumentation snapshot when
+	// Config.Telemetry was set, nil otherwise. Everything in it except
+	// wall-clock durations is bit-identical across worker counts.
+	Telemetry *telemetry.Snapshot
 }
 
 // Branches returns every conditional branch prediction in deterministic

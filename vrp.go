@@ -22,6 +22,7 @@ package vrp
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"vrp/internal/ast"
 	"vrp/internal/freq"
@@ -33,6 +34,7 @@ import (
 	"vrp/internal/sem"
 	"vrp/internal/source"
 	"vrp/internal/ssaform"
+	"vrp/internal/telemetry"
 	corevrp "vrp/internal/vrp"
 )
 
@@ -178,6 +180,22 @@ func WithConfig(cfg corevrp.Config) Option {
 	return func(c *corevrp.Config) { *c = cfg }
 }
 
+// TelemetrySnapshot is the aggregated instrumentation record of one
+// analysis run: per-function counters, pass timings, histograms and trace
+// events. See Analysis.Telemetry and internal/telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// WithTelemetry enables instrumentation for the run: engine counters
+// (worklist pushes and peaks, φ-merges, widenings, assertion
+// applications), driver spans (passes, waves, engine runs, skips), and
+// range histograms. The aggregated snapshot is available from
+// Analysis.Telemetry; everything in it except wall-clock durations is
+// bit-identical across worker counts. Disabled (the default) it costs
+// nothing on the engine hot path.
+func WithTelemetry() Option {
+	return func(c *corevrp.Config) { c.Telemetry = telemetry.New() }
+}
+
 // ApplyProcedureCloning duplicates functions called in significantly
 // different constant contexts (§3.7), transforming the program in place.
 // Run it before Analyze and Run; both then see the specialised program.
@@ -189,6 +207,7 @@ func (p *Program) ApplyProcedureCloning() *corevrp.CloneReport {
 type Analysis struct {
 	Result *corevrp.Result
 	prog   *Program
+	bl     *heuristics.BallLarus // evidence source for ExplainBranch
 }
 
 // Analyze runs value range propagation. By default the configuration is
@@ -205,7 +224,7 @@ func (p *Program) Analyze(opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{Result: res, prog: p}, nil
+	return &Analysis{Result: res, prog: p, bl: bl}, nil
 }
 
 // AnalyzeContext is Analyze under an explicit cancellation context: the
@@ -274,6 +293,85 @@ func (a *Analysis) Frequencies() *freq.ProgramFrequencies {
 		p, ok := fr.BranchProb[br]
 		return p, ok
 	})
+}
+
+// Telemetry returns the run's aggregated instrumentation snapshot, or nil
+// unless the analysis ran with WithTelemetry.
+func (a *Analysis) Telemetry() *TelemetrySnapshot {
+	return a.Result.Telemetry
+}
+
+// BranchExplanation is the full provenance of one branch prediction: the
+// range-derivation chain, plus — when the prediction fell back to
+// heuristics — the named Ball–Larus evidence that fired.
+type BranchExplanation struct {
+	*corevrp.Explanation
+
+	// Heuristics lists the Ball–Larus heuristics that applied, in
+	// Dempster–Shafer combination order. Populated when the prediction
+	// source is not "range" (the default fallback was consulted); empty
+	// there means no heuristic applied and the default 0.5 was used.
+	Heuristics []heuristics.Evidence
+}
+
+// String renders the explanation for humans: the derivation chain, then
+// the heuristic evidence when the range gave no prediction.
+func (e *BranchExplanation) String() string {
+	s := e.Explanation.String()
+	if e.Source == corevrp.ByRange {
+		return s
+	}
+	if len(e.Heuristics) == 0 {
+		return s + "  no Ball–Larus heuristic applies: default P(true) = 0.5\n"
+	}
+	s += "  heuristic evidence (Ball–Larus, Dempster–Shafer combined):\n"
+	for _, ev := range e.Heuristics {
+		s += fmt.Sprintf("    %-11s asserts P(true) = %.2f\n", ev.Name, ev.Prob)
+	}
+	s += fmt.Sprintf("    combined → %.4f\n", e.Prob)
+	return s
+}
+
+// ExplainBranch reconstructs why the conditional branch at the given
+// source line of function fn got its probability: the chain of SSA
+// definitions the controlling range was derived from, or the named
+// heuristics that fired when that range was ⊥. line 0 picks the
+// function's only branch, if there is exactly one.
+func (a *Analysis) ExplainBranch(fn string, line int) (*BranchExplanation, error) {
+	f := a.prog.IR.ByName[fn]
+	if f == nil {
+		return nil, fmt.Errorf("vrp: no function %q", fn)
+	}
+	var br *ir.Instr
+	var lines []string
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		lines = append(lines, fmt.Sprint(t.Pos.Line))
+		if t.Pos.Line == line || (line == 0 && br == nil) {
+			br = t
+		}
+	}
+	if line == 0 && len(lines) > 1 {
+		return nil, fmt.Errorf("vrp: %s has %d branches (lines %s); pick one", fn, len(lines), strings.Join(lines, ", "))
+	}
+	if br == nil {
+		if len(lines) == 0 {
+			return nil, fmt.Errorf("vrp: %s has no conditional branches", fn)
+		}
+		return nil, fmt.Errorf("vrp: no branch at %s:%d (branches at lines %s)", fn, line, strings.Join(lines, ", "))
+	}
+	ex, err := a.Result.ExplainBranch(f, br)
+	if err != nil {
+		return nil, err
+	}
+	be := &BranchExplanation{Explanation: ex}
+	if ex.Source != corevrp.ByRange && a.bl != nil {
+		be.Heuristics = a.bl.Explain(f, br)
+	}
+	return be, nil
 }
 
 // ValueString renders the final value range of the named source variable's
