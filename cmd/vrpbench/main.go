@@ -29,14 +29,16 @@ import (
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "reproduce one figure (4-8); 0 = all")
-		summary   = flag.Bool("summary", false, "print the §5 summary only")
-		apps      = flag.Bool("apps", false, "print the §6 applications only")
-		ablations = flag.Bool("ablations", false, "print the ablation table only")
-		benchMode = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
-		benchOut  = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
-		benchIter = flag.Int("benchiter", 5, "timing iterations per -bench point")
-		quick     = flag.Bool("quick", false, "with -bench, run the abbreviated CI series (fewer sizes, 1 iteration)")
+		fig        = flag.Int("fig", 0, "reproduce one figure (4-8); 0 = all")
+		summary    = flag.Bool("summary", false, "print the §5 summary only")
+		apps       = flag.Bool("apps", false, "print the §6 applications only")
+		ablations  = flag.Bool("ablations", false, "print the ablation table only")
+		benchMode  = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
+		benchOut   = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
+		benchIter  = flag.Int("benchiter", 5, "timing iterations per -bench point")
+		latticeRun = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
+		latticeOut = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
+		quick      = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -49,6 +51,12 @@ func main() {
 			sizes, iters = bench.QuickSizes, 1
 		}
 		err = runDriverBench(w, *benchOut, sizes, iters)
+	case *latticeRun:
+		sizes, iters := bench.ScaledSizes, *benchIter
+		if *quick {
+			sizes, iters = bench.QuickSizes, 1
+		}
+		err = runLatticeBench(w, *latticeOut, sizes, iters)
 	case *summary:
 		err = bench.PrintSummary(w)
 		if err == nil {
@@ -120,8 +128,8 @@ func runDriverBench(w *os.File, outPath string, sizes []int, iters int) error {
 		return err
 	}
 	fmt.Fprintf(w, "driver benchmark (%d workers), best of %d:\n", rep.GOMAXPROCS, iters)
-	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %7s %9s %8s %5s %10s %7s %6s\n",
-		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "passes", "analyzed", "skipped", "conv", "steps", "peakWL", "widen")
+	fmt.Fprintf(w, "  %-10s %7s %6s %12s %12s %8s %10s %11s %7s %9s %8s %5s %10s %7s %6s\n",
+		"program", "instrs", "funcs", "seq ns/op", "par ns/op", "speedup", "allocs/op", "bytes/op", "passes", "analyzed", "skipped", "conv", "steps", "peakWL", "widen")
 	for _, p := range pts {
 		conv := "yes"
 		if !p.Converged {
@@ -131,9 +139,42 @@ func runDriverBench(w *os.File, outPath string, sizes []int, iters int) error {
 		if p.SSAPeak > peak {
 			peak = p.SSAPeak
 		}
-		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %7d %9d %8d %5s %10d %7d %6d\n",
-			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.Passes, p.Analyzed, p.Skipped, conv,
-			p.EngineSteps, peak, p.Widens)
+		fmt.Fprintf(w, "  %-10s %7d %6d %12d %12d %7.2fx %10d %11d %7d %9d %8d %5s %10d %7d %6d\n",
+			p.Name, p.Instrs, p.Funcs, p.SeqNsOp, p.ParNsOp, p.Speedup, p.AllocsOp, p.BytesOp,
+			p.Passes, p.Analyzed, p.Skipped, conv, p.EngineSteps, peak, p.Widens)
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+// latticeBenchReport is the machine-readable result of -lattice: the
+// intern-on vs intern-off cost comparison (BENCH_lattice.json; schema in
+// EXPERIMENTS.md).
+type latticeBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Points     []bench.LatticePoint `json:"points"`
+}
+
+func runLatticeBench(w *os.File, outPath string, sizes []int, iters int) error {
+	pts, err := bench.LatticeComparison(sizes, iters)
+	if err != nil {
+		return err
+	}
+	rep := latticeBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Points: pts}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "lattice interning benchmark (sequential), best of %d:\n", iters)
+	fmt.Fprintf(w, "  %-10s %7s %12s %12s %11s %11s %10s %12s %12s %11s %9s\n",
+		"program", "instrs", "on ns/op", "off ns/op", "on allocs", "off allocs", "alloc-red", "on bytes", "off bytes", "intern-hit", "memo-hit")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-10s %7d %12d %12d %11d %11d %9.1f%% %12d %12d %11d %9d\n",
+			p.Name, p.Instrs, p.OnNsOp, p.OffNsOp, p.OnAllocsOp, p.OffAllocsOp,
+			100*p.AllocReduction, p.OnBytesOp, p.OffBytesOp, p.InternHits, p.MemoHits)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	return nil

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"vrp/internal/corpus"
+	"vrp/internal/telemetry"
+	corevrp "vrp/internal/vrp"
+)
+
+// LatticePoint is the before/after comparison of the hash-cons interning
+// layer (internal/vrange/intern.go) on one merged corpus program: the same
+// analysis run with the interner + transfer-function memo on (the default)
+// and off (Config.Range.DisableIntern). Both modes produce bit-identical
+// results; only the cost columns differ.
+type LatticePoint struct {
+	Name   string `json:"name"`
+	Instrs int    `json:"instrs"`
+	Funcs  int    `json:"funcs"`
+
+	OnNsOp  int64 `json:"intern_ns_per_op"`
+	OffNsOp int64 `json:"nointern_ns_per_op"`
+
+	OnAllocsOp  int64 `json:"intern_allocs_per_op"`
+	OffAllocsOp int64 `json:"nointern_allocs_per_op"`
+	OnBytesOp   int64 `json:"intern_bytes_per_op"`
+	OffBytesOp  int64 `json:"nointern_bytes_per_op"`
+
+	// AllocReduction is 1 - intern/nointern: the fraction of heap
+	// allocations the interning layer removes.
+	AllocReduction float64 `json:"alloc_reduction"`
+
+	// Hit-rate counters from an instrumented interning run (telemetry off
+	// during the timed runs).
+	InternHits   int64 `json:"intern_hits"`
+	InternMisses int64 `json:"intern_misses"`
+	MemoHits     int64 `json:"memo_hits"`
+	MemoMisses   int64 `json:"memo_misses"`
+}
+
+// LatticeComparison measures merged corpus programs of growing size with
+// interning on and off, under the sequential schedule (Workers: 1, so the
+// MemStats deltas count exactly one engine's allocations).
+func LatticeComparison(sizes []int, iters int) ([]LatticePoint, error) {
+	all := corpus.All()
+	var pts []LatticePoint
+	for _, k := range sizes {
+		if k > len(all) {
+			k = len(all)
+		}
+		mp, err := mergedProgram(all[:k])
+		if err != nil {
+			return nil, err
+		}
+		onCfg := defaultEngineConfig(mp)
+		onCfg.Workers = 1
+		offCfg := defaultEngineConfig(mp)
+		offCfg.Workers = 1
+		offCfg.Range.DisableIntern = true
+
+		onNs, onAllocs, onBytes, err := measureAnalyze(mp, onCfg, iters)
+		if err != nil {
+			return nil, err
+		}
+		offNs, offAllocs, offBytes, err := measureAnalyze(mp, offCfg, iters)
+		if err != nil {
+			return nil, err
+		}
+
+		telCfg := onCfg
+		telCfg.Telemetry = telemetry.New()
+		res, err := corevrp.Analyze(mp, telCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		pt := LatticePoint{
+			Name:        fmt.Sprintf("merged-%d", k),
+			Instrs:      mp.NumInstrs(),
+			Funcs:       len(mp.Funcs),
+			OnNsOp:      onNs,
+			OffNsOp:     offNs,
+			OnAllocsOp:  onAllocs,
+			OffAllocsOp: offAllocs,
+			OnBytesOp:   onBytes,
+			OffBytesOp:  offBytes,
+		}
+		if offAllocs > 0 {
+			pt.AllocReduction = 1 - float64(onAllocs)/float64(offAllocs)
+		}
+		if snap := res.Telemetry; snap != nil {
+			pt.InternHits = snap.Totals.InternHits
+			pt.InternMisses = snap.Totals.InternMiss
+			pt.MemoHits = snap.Totals.MemoHits
+			pt.MemoMisses = snap.Totals.MemoMisses
+		}
+		pts = append(pts, pt)
+		if k == len(all) {
+			break
+		}
+	}
+	return pts, nil
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"vrp"
@@ -110,15 +111,20 @@ func ScaledPoints(subOps bool) ([]Point, error) {
 // DriverPoint is one measurement of the parallel incremental driver
 // against the sequential schedule on a merged program.
 type DriverPoint struct {
-	Name     string  `json:"name"`
-	Instrs   int     `json:"instrs"`
-	Funcs    int     `json:"funcs"`
-	SeqNsOp  int64   `json:"seq_ns_per_op"`
-	ParNsOp  int64   `json:"par_ns_per_op"`
-	Speedup  float64 `json:"speedup"`
-	Passes   int     `json:"passes"`
-	Analyzed int64   `json:"funcs_analyzed"`
-	Skipped  int64   `json:"funcs_skipped"`
+	Name    string  `json:"name"`
+	Instrs  int     `json:"instrs"`
+	Funcs   int     `json:"funcs"`
+	SeqNsOp int64   `json:"seq_ns_per_op"`
+	ParNsOp int64   `json:"par_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+
+	// Heap cost of one sequential analysis (runtime.MemStats deltas over
+	// the timed runs): allocations and bytes per Analyze call.
+	AllocsOp int64 `json:"allocs_per_op"`
+	BytesOp  int64 `json:"bytes_per_op"`
+	Passes   int   `json:"passes"`
+	Analyzed int64 `json:"funcs_analyzed"`
+	Skipped  int64 `json:"funcs_skipped"`
 
 	// Converged distinguishes a true fixpoint from a MaxPasses cutoff
 	// (where ⊤ values were demoted); a benchmark point that did not
@@ -160,11 +166,11 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 		seqCfg.Workers = 1
 		parCfg := defaultEngineConfig(mp)
 		parCfg.Workers = 0
-		seqNs, err := timeAnalyze(mp, seqCfg, iters)
+		seqNs, seqAllocs, seqBytes, err := measureAnalyze(mp, seqCfg, iters)
 		if err != nil {
 			return nil, err
 		}
-		parNs, err := timeAnalyze(mp, parCfg, iters)
+		parNs, _, _, err := measureAnalyze(mp, parCfg, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -181,6 +187,8 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 			SeqNsOp:   seqNs,
 			ParNsOp:   parNs,
 			Speedup:   float64(seqNs) / float64(parNs),
+			AllocsOp:  seqAllocs,
+			BytesOp:   seqBytes,
 			Passes:    res.Stats.Passes,
 			Analyzed:  res.Stats.FuncsAnalyzed,
 			Skipped:   res.Stats.FuncsSkipped,
@@ -202,20 +210,31 @@ func DriverScaling(sizes []int, iters int) ([]DriverPoint, error) {
 	return pts, nil
 }
 
-// timeAnalyze returns the best wall-clock of iters Analyze runs.
-func timeAnalyze(p *ir.Program, cfg corevrp.Config, iters int) (int64, error) {
+// measureAnalyze runs Analyze iters times and reports the best wall-clock
+// plus the mean heap cost per run (runtime.MemStats deltas across the
+// whole batch — the binaries cannot use testing.AllocsPerRun). A GC fence
+// before each reading keeps unrelated garbage out of the deltas.
+func measureAnalyze(p *ir.Program, cfg corevrp.Config, iters int) (nsOp, allocsOp, bytesOp int64, err error) {
+	if iters < 1 {
+		iters = 1
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	best := int64(0)
 	for i := 0; i < iters; i++ {
 		start := time.Now()
 		if _, err := corevrp.Analyze(p, cfg); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		ns := time.Since(start).Nanoseconds()
 		if best == 0 || ns < best {
 			best = ns
 		}
 	}
-	return best, nil
+	runtime.ReadMemStats(&m1)
+	n := int64(iters)
+	return best, int64(m1.Mallocs-m0.Mallocs) / n, int64(m1.TotalAlloc-m0.TotalAlloc) / n, nil
 }
 
 func defaultEngineConfig(p *ir.Program) corevrp.Config {

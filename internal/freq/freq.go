@@ -34,116 +34,144 @@ type Frequencies struct {
 // even for loops predicted to run "forever".
 const MaxCyclic = 1 - 1.0/(1<<20)
 
-// Compute solves the frequency equations for f given per-branch
-// probabilities. The function must be in the renumbered (reverse
-// postorder) form irgen produces.
-func Compute(f *ir.Func, tree *dom.Tree, loops *dom.LoopInfo, prob BranchProbFunc) *Frequencies {
-	fr := &Frequencies{
-		Block: make([]float64, len(f.Blocks)),
-		Edge:  make([]float64, len(f.Edges)),
+// Solver carries the per-function state of the frequency equations so
+// repeated solves (the vrp engine re-solves after every accepted branch
+// probability change) reuse one set of buffers instead of reallocating
+// maps and closures per call. A Solver is not safe for concurrent use.
+type Solver struct {
+	f     *ir.Func
+	back  map[*ir.Edge]bool
+	prob  BranchProbFunc // current solve's probability source
+	ls    []*dom.Loop    // innermost (deepest) first
+	isHdr []bool         // by block ID: block heads some loop
+	cp    []float64      // by block ID: cyclic probability of that header
+	fr    Frequencies    // reused output buffers
+}
+
+// NewSolver prepares a solver for f. tree/loops/back are the caller's
+// dominator structures (the caller typically already owns them; pass
+// dom.BackEdges(f, tree) for back). The function must be in the
+// renumbered (reverse postorder) form irgen produces.
+func NewSolver(f *ir.Func, tree *dom.Tree, loops *dom.LoopInfo, back map[*ir.Edge]bool) *Solver {
+	s := &Solver{
+		f:     f,
+		back:  back,
+		isHdr: make([]bool, len(f.Blocks)),
+		cp:    make([]float64, len(f.Blocks)),
+		fr: Frequencies{
+			Block: make([]float64, len(f.Blocks)),
+			Edge:  make([]float64, len(f.Edges)),
+		},
 	}
-
-	back := dom.BackEdges(f, tree)
-
-	// edgeProb: probability of leaving a block along each out-edge.
-	edgeProb := func(e *ir.Edge) (float64, bool) {
-		t := e.From.Terminator()
-		if t == nil {
-			return 0, false
-		}
-		switch t.Op {
-		case ir.OpJmp:
-			return 1, true
-		case ir.OpBr:
-			p, known := prob(t)
-			if !known {
-				return 0, false
+	// Loops innermost (deepest) first, preserving the original tie order.
+	s.ls = append([]*dom.Loop(nil), loops.Loops...)
+	for i := 0; i < len(s.ls); i++ {
+		for j := i + 1; j < len(s.ls); j++ {
+			if s.ls[j].Depth > s.ls[i].Depth {
+				s.ls[i], s.ls[j] = s.ls[j], s.ls[i]
 			}
-			if e.Kind == ir.EdgeTrue {
-				return p, true
-			}
-			return 1 - p, true
 		}
+	}
+	for _, l := range loops.Loops {
+		s.isHdr[l.Header.ID] = true
+	}
+	return s
+}
+
+// edgeProb: probability of leaving a block along one out-edge.
+func (s *Solver) edgeProb(e *ir.Edge) (float64, bool) {
+	t := e.From.Terminator()
+	if t == nil {
 		return 0, false
 	}
-
-	// cp[headerID] is the cyclic probability of the loop headed there.
-	cp := make(map[int]float64)
-
-	// propagate computes frequencies inside one region: the blocks of a
-	// loop (header first) or the whole function from the entry. Inner
-	// loop headers are scaled by their 1/(1-cp) multiplier. Blocks are
-	// visited in RPO (f.Blocks order), which tops-sorts the acyclic
-	// remainder once back edges are skipped.
-	headerOf := func(id int) bool {
-		for _, l := range loops.Loops {
-			if l.Header.ID == id {
-				return true
-			}
+	switch t.Op {
+	case ir.OpJmp:
+		return 1, true
+	case ir.OpBr:
+		p, known := s.prob(t)
+		if !known {
+			return 0, false
 		}
-		return false
+		if e.Kind == ir.EdgeTrue {
+			return p, true
+		}
+		return 1 - p, true
 	}
-	propagate := func(head *ir.Block, in func(id int) bool) {
-		bfreq := make(map[int]float64, len(f.Blocks))
-		for _, b := range f.Blocks {
-			if !in(b.ID) {
-				continue
-			}
-			var freqv float64
-			if b == head {
-				freqv = 1
-			} else {
-				for _, pe := range b.Preds {
-					if back[pe] || !in(pe.From.ID) {
-						continue
-					}
-					freqv += fr.Edge[pe.ID]
-				}
-				if b.ID != head.ID && headerOf(b.ID) {
-					c := cp[b.ID]
-					if c > MaxCyclic {
-						c = MaxCyclic
-					}
-					freqv /= 1 - c
-				}
-			}
-			bfreq[b.ID] = freqv
-			for _, se := range b.Succs {
-				p, known := edgeProb(se)
-				if !known {
-					fr.Edge[se.ID] = 0
+	return 0, false
+}
+
+// propagate computes frequencies inside one region: the blocks of a loop
+// (header first) or, with region == nil, the whole function from the
+// entry. Inner loop headers are scaled by their 1/(1-cp) multiplier.
+// Blocks are visited in RPO (f.Blocks order), which top-sorts the acyclic
+// remainder once back edges are skipped.
+func (s *Solver) propagate(head *ir.Block, region *dom.Loop) {
+	for _, b := range s.f.Blocks {
+		if region != nil && !region.Contains(b.ID) {
+			continue
+		}
+		var freqv float64
+		if b == head {
+			freqv = 1
+		} else {
+			for _, pe := range b.Preds {
+				if s.back[pe] || (region != nil && !region.Contains(pe.From.ID)) {
 					continue
 				}
-				fr.Edge[se.ID] = freqv * p
+				freqv += s.fr.Edge[pe.ID]
+			}
+			if s.isHdr[b.ID] {
+				c := s.cp[b.ID]
+				if c > MaxCyclic {
+					c = MaxCyclic
+				}
+				freqv /= 1 - c
 			}
 		}
-		for id, v := range bfreq {
-			fr.Block[id] = v
+		s.fr.Block[b.ID] = freqv
+		for _, se := range b.Succs {
+			p, known := s.edgeProb(se)
+			if !known {
+				s.fr.Edge[se.ID] = 0
+				continue
+			}
+			s.fr.Edge[se.ID] = freqv * p
 		}
 	}
+}
 
-	// Loops innermost (deepest) first.
-	ls := append([]*dom.Loop(nil), loops.Loops...)
-	for i := 0; i < len(ls); i++ {
-		for j := i + 1; j < len(ls); j++ {
-			if ls[j].Depth > ls[i].Depth {
-				ls[i], ls[j] = ls[j], ls[i]
-			}
-		}
-	}
-	for _, l := range ls {
-		propagate(l.Header, func(id int) bool { return l.Contains(id) })
+// Compute solves the frequency equations with the given per-branch
+// probabilities. The returned Frequencies alias the Solver's internal
+// buffers: they are valid until the next Compute call, and callers that
+// keep them longer must copy.
+func (s *Solver) Compute(prob BranchProbFunc) *Frequencies {
+	s.prob = prob
+	clear(s.cp)
+	// Zeroed buffers make every solve identical to a fresh-allocation run
+	// even on graphs where RPO does not top-sort the back-edge-free
+	// remainder (memclr, no allocation).
+	clear(s.fr.Block)
+	clear(s.fr.Edge)
+	for _, l := range s.ls {
+		s.propagate(l.Header, l)
 		c := 0.0
 		for _, be := range l.BackEdge {
-			c += fr.Edge[be.ID]
+			c += s.fr.Edge[be.ID]
 		}
 		if c > MaxCyclic {
 			c = MaxCyclic
 		}
-		cp[l.Header.ID] = c
+		s.cp[l.Header.ID] = c
 	}
-
 	// Whole function.
-	propagate(f.Entry, func(int) bool { return true })
-	return fr
+	s.propagate(s.f.Entry, nil)
+	s.prob = nil
+	return &s.fr
+}
+
+// Compute solves the frequency equations for f given per-branch
+// probabilities, with freshly allocated result buffers. One-shot
+// convenience around Solver; re-solving callers should hold a Solver.
+func Compute(f *ir.Func, tree *dom.Tree, loops *dom.LoopInfo, prob BranchProbFunc) *Frequencies {
+	return NewSolver(f, tree, loops, dom.BackEdges(f, tree)).Compute(prob)
 }

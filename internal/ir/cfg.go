@@ -140,8 +140,11 @@ func (f *Func) Renumber() {
 func (f *Func) BuildDefUse() error {
 	f.Defs = make([]*Instr, f.NumRegs)
 	f.Uses = make([][]*Instr, f.NumRegs)
+	idx := 0
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
+			in.Idx = idx
+			idx++
 			if in.Defines() {
 				if f.Defs[in.Dst] != nil {
 					return fmt.Errorf("ir: register r%d defined twice (%s and %s)", in.Dst, f.Defs[in.Dst], in)

@@ -310,6 +310,11 @@ type Instr struct {
 	// merge rule even if A is later rewritten.
 	Parent Reg
 
+	// Idx is the dense per-function instruction index, assigned by
+	// BuildDefUse in block order. Analysis passes use it for worklist
+	// membership bitsets and per-instruction counter arrays.
+	Idx int
+
 	Block *Block     // owning block (maintained by construction passes)
 	Pos   source.Pos // original source position, for diagnostics
 }

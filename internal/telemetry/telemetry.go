@@ -45,6 +45,14 @@ type RunMetrics struct {
 	DeriveHits int64 // loop φs matched by a derivation template
 	DeriveMiss int64 // derivation attempts that fell back to brute force
 	Asserts    int64 // assertion (π-node) refinements applied
+
+	// Hash-cons and memo traffic of the run's range calculator: intern
+	// table lookups that found an existing representative vs. created one,
+	// and transfer-function memo hits vs. recomputations.
+	InternHits int64
+	InternMiss int64
+	MemoHits   int64
+	MemoMisses int64
 }
 
 // PushFlow records a CFG worklist insertion at the given queue depth.
@@ -98,6 +106,18 @@ func (m *RunMetrics) Assert() {
 	}
 }
 
+// AddLattice folds the range calculator's hash-cons and memo counters
+// into the run.
+func (m *RunMetrics) AddLattice(internHits, internMiss, memoHits, memoMisses int64) {
+	if m == nil {
+		return
+	}
+	m.InternHits += internHits
+	m.InternMiss += internMiss
+	m.MemoHits += memoHits
+	m.MemoMisses += memoMisses
+}
+
 // FuncMetrics aggregates every run of one function across all passes.
 // Counter fields add; peak fields take the maximum over runs.
 type FuncMetrics struct {
@@ -125,6 +145,10 @@ func (f *FuncMetrics) fold(m *RunMetrics) {
 	f.DeriveHits += m.DeriveHits
 	f.DeriveMiss += m.DeriveMiss
 	f.Asserts += m.Asserts
+	f.InternHits += m.InternHits
+	f.InternMiss += m.InternMiss
+	f.MemoHits += m.MemoHits
+	f.MemoMisses += m.MemoMisses
 }
 
 // addTotals accumulates another aggregate (for the snapshot's Totals row).
@@ -146,6 +170,10 @@ func (f *FuncMetrics) addTotals(o *FuncMetrics) {
 	f.DeriveHits += o.DeriveHits
 	f.DeriveMiss += o.DeriveMiss
 	f.Asserts += o.Asserts
+	f.InternHits += o.InternHits
+	f.InternMiss += o.InternMiss
+	f.MemoHits += o.MemoHits
+	f.MemoMisses += o.MemoMisses
 }
 
 // Event is one span or instant on the analysis timeline. Start and Dur are
@@ -462,6 +490,8 @@ func (s *Snapshot) Summary() string {
 		t.Steps, t.FlowPushes, t.FlowPeak, t.SSAPushes, t.SSAPeak)
 	fmt.Fprintf(&b, "  lattice: phi-merges=%d widens=%d asserts=%d derive-hits=%d derive-misses=%d boundary-drops=%d\n",
 		t.PhiMerges, t.Widens, t.Asserts, t.DeriveHits, t.DeriveMiss, s.BoundaryDrops)
+	fmt.Fprintf(&b, "  interning: intern-hits=%d intern-misses=%d memo-hits=%d memo-misses=%d\n",
+		t.InternHits, t.InternMiss, t.MemoHits, t.MemoMisses)
 	fmt.Fprintf(&b, "  driver: runs=%d skips=%d degraded=%d\n", t.Runs, t.Skips, t.Degraded)
 	for _, h := range []*Histogram{s.RangeSetSize, s.RangeSpan, s.PassRuns} {
 		if h != nil && h.Total() > 0 {

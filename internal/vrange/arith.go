@@ -3,31 +3,41 @@ package vrange
 import "vrp/internal/ir"
 
 // Apply evaluates a binary operator over two values, dispatching to the
-// arithmetic or comparison implementation.
+// arithmetic or comparison implementation. Applications over interned
+// operands are memoized (keyed on the operand ids and the operator), so a
+// fixpoint re-evaluating the same expression returns the cached interned
+// result without touching the range algebra.
 func (c *Calc) Apply(op ir.BinOp, a, b Value) Value {
+	return c.memoized(uint32(op), a, b, func() Value {
+		return c.applyUncached(op, a, b)
+	})
+}
+
+func (c *Calc) applyUncached(op ir.BinOp, a, b Value) Value {
 	if op.IsComparison() {
 		return c.Compare(op, a, b)
 	}
 	switch op {
 	case ir.BinAdd:
-		return c.binary(a, b, single(c.addRanges))
+		return c.binary1(a, b, c.addRanges)
 	case ir.BinSub:
-		return c.binary(a, b, single(c.subRanges))
+		return c.binary1(a, b, c.subRanges)
 	case ir.BinMul:
-		return c.binary(a, b, single(c.mulRanges))
+		return c.binary1(a, b, c.mulRanges)
 	case ir.BinDiv:
-		return c.binary(a, b, single(c.divRanges))
+		return c.binary1(a, b, c.divRanges)
 	case ir.BinMod:
-		return c.binary(a, b, c.modRanges)
+		return c.binaryN(a, b, c.modRanges)
 	}
 	return BottomValue()
 }
 
-// binary runs the cartesian pairing of the operand range sets — up to R²
-// sub-operations per expression evaluation, the cost model of §4. A pair
-// may produce several ranges (e.g. the sign split of modulo); their
-// probabilities must sum to 1 and are scaled by the pair weight.
-func (c *Calc) binary(a, b Value, f func(x, y Range) ([]Range, bool)) Value {
+// binary1 runs the cartesian pairing of the operand range sets — up to R²
+// sub-operations per expression evaluation, the cost model of §4 — for
+// pair functions producing exactly one range: its probability is the
+// product of the pair probabilities. Output accumulates in the calc's
+// scratch buffer; Canonicalize interns the result out of it.
+func (c *Calc) binary1(a, b Value, f func(x, y Range) (Range, bool)) Value {
 	if a.IsTop() || b.IsTop() {
 		return TopValue()
 	}
@@ -37,36 +47,60 @@ func (c *Calc) binary(a, b Value, f func(x, y Range) ([]Range, bool)) Value {
 	if a.IsInfeasible() || b.IsInfeasible() {
 		return Infeasible()
 	}
-	rs := make([]Range, 0, len(a.Ranges)*len(b.Ranges))
+	rs := c.buf1[:0]
 	for _, x := range a.Ranges {
 		for _, y := range b.Ranges {
 			c.SubOps++
-			parts, ok := f(x, y)
+			r, ok := f(x, y)
 			if !ok {
+				c.buf1 = rs
 				return BottomValue()
 			}
-			for _, r := range parts {
-				w := r.Prob
-				if len(parts) == 1 {
-					w = 1
-				}
-				r.Prob = w * x.Prob * y.Prob
-				rs = append(rs, r)
-			}
+			r.Prob = x.Prob * y.Prob
+			rs = append(rs, r)
 		}
 	}
+	c.buf1 = rs
 	return c.Canonicalize(Value{kind: Set, Ranges: rs})
 }
 
-// single adapts a one-range pair function to the multi-range signature.
-func single(f func(x, y Range) (Range, bool)) func(x, y Range) ([]Range, bool) {
-	return func(x, y Range) ([]Range, bool) {
-		r, ok := f(x, y)
-		if !ok {
-			return nil, false
-		}
-		return []Range{r}, true
+// binaryN is binary1 for pair functions that may append several ranges for
+// one pair (e.g. the sign split of modulo); their probabilities must sum
+// to 1 within the pair and are scaled by the pair weight. A single
+// appended range takes the whole pair weight regardless of its Prob field.
+func (c *Calc) binaryN(a, b Value, f func(dst []Range, x, y Range) ([]Range, bool)) Value {
+	if a.IsTop() || b.IsTop() {
+		return TopValue()
 	}
+	if a.IsBottom() || b.IsBottom() {
+		return BottomValue()
+	}
+	if a.IsInfeasible() || b.IsInfeasible() {
+		return Infeasible()
+	}
+	rs := c.buf1[:0]
+	for _, x := range a.Ranges {
+		for _, y := range b.Ranges {
+			c.SubOps++
+			before := len(rs)
+			var ok bool
+			rs, ok = f(rs, x, y)
+			if !ok {
+				c.buf1 = rs
+				return BottomValue()
+			}
+			n := len(rs) - before
+			for i := before; i < len(rs); i++ {
+				w := rs[i].Prob
+				if n == 1 {
+					w = 1
+				}
+				rs[i].Prob = w * x.Prob * y.Prob
+			}
+		}
+	}
+	c.buf1 = rs
+	return c.Canonicalize(Value{kind: Set, Ranges: rs})
 }
 
 // strideOf combines strides for interval addition: a point adopts the
@@ -219,16 +253,15 @@ func (c *Calc) divRanges(x, y Range) (Range, bool) {
 	return Range{Lo: Num(lo), Hi: Num(hi), Stride: stride}, true
 }
 
-func (c *Calc) modRanges(x, y Range) ([]Range, bool) {
+func (c *Calc) modRanges(dst []Range, x, y Range) ([]Range, bool) {
 	k, ok := pointConst(y)
 	if !ok || k < 0 {
-		return nil, false
+		return dst, false
 	}
 	if k == 0 {
 		// Mini defines modulo by zero as 0.
-		return []Range{Point(1, Num(0))}, true
+		return append(dst, Point(1, Num(0))), true
 	}
-	one := func(r Range) []Range { return []Range{r} }
 	if !x.IsNum() {
 		// Unknown or symbolic left operand: the result is still bounded
 		// by the modulus — `anything % k` lies in [-(k-1), k-1] under
@@ -236,27 +269,29 @@ func (c *Calc) modRanges(x, y Range) ([]Range, bool) {
 		// zero splits the result into two uniform halves, making
 		// P(x % k == r) come out as 1/k — the behaviour of a uniformly
 		// distributed operand of either sign.
-		return fullModRanges(k), true
+		return appendFullMod(dst, k), true
 	}
 	if v, ok := pointConst(x); ok {
-		return one(Point(0, Num(ir.BinMod.Eval(v, k)))), true
+		return append(dst, Point(0, Num(ir.BinMod.Eval(v, k)))), true
 	}
 	if x.Lo.Const < 0 {
 		if x.Hi.Const <= 0 {
 			// Entirely non-positive: mirror of the non-negative case.
 			neg := Range{Lo: Num(-x.Hi.Const), Hi: Num(-x.Lo.Const), Stride: x.Stride}
-			ms, ok := c.modRanges(neg, y)
-			if !ok || len(ms) != 1 {
-				return nil, false
+			before := len(dst)
+			out, ok := c.modRanges(dst, neg, y)
+			if !ok || len(out)-before != 1 {
+				return dst, false
 			}
-			m := ms[0]
-			return one(Range{Lo: Num(-m.Hi.Const), Hi: Num(-m.Lo.Const), Stride: m.Stride}), true
+			m := out[before]
+			out[before] = Range{Lo: Num(-m.Hi.Const), Hi: Num(-m.Lo.Const), Stride: m.Stride}
+			return out, true
 		}
-		return fullModRanges(k), true
+		return appendFullMod(dst, k), true
 	}
 	if x.Hi.Const < k {
 		// Already within one period: identity.
-		return one(Range{Lo: x.Lo, Hi: x.Hi, Stride: x.Stride}), true
+		return append(dst, Range{Lo: x.Lo, Hi: x.Hi, Stride: x.Stride}), true
 	}
 	s := x.Stride
 	if s <= 0 {
@@ -268,38 +303,47 @@ func (c *Calc) modRanges(x, y Range) ([]Range, bool) {
 	if lo == hi {
 		g = 0
 	}
-	return one(Range{Lo: Num(lo), Hi: Num(hi), Stride: g}), true
+	return append(dst, Range{Lo: Num(lo), Hi: Num(hi), Stride: g}), true
 }
 
-// fullModRanges is the sign-split result of `unknown % k`.
-func fullModRanges(k int64) []Range {
+// appendFullMod appends the sign-split result of `unknown % k`.
+func appendFullMod(dst []Range, k int64) []Range {
 	if k == 1 {
-		return []Range{Point(1, Num(0))}
+		return append(dst, Point(1, Num(0)))
 	}
-	return []Range{
-		{Prob: 0.5, Lo: Num(-(k - 1)), Hi: Num(0), Stride: 1},
-		{Prob: 0.5, Lo: Num(0), Hi: Num(k - 1), Stride: 1},
-	}
+	return append(dst,
+		Range{Prob: 0.5, Lo: Num(-(k - 1)), Hi: Num(0), Stride: 1},
+		Range{Prob: 0.5, Lo: Num(0), Hi: Num(k - 1), Stride: 1},
+	)
 }
 
-// Neg evaluates unary minus.
+// Neg evaluates unary minus (memoized; TopValue is the unary b sentinel).
 func (c *Calc) Neg(v Value) Value {
 	if v.Kind() != Set {
 		return v
 	}
-	rs := make([]Range, 0, len(v.Ranges))
+	return c.memoized(memoOpNeg, v, TopValue(), func() Value {
+		return c.negUncached(v)
+	})
+}
+
+func (c *Calc) negUncached(v Value) Value {
+	rs := c.buf1[:0]
 	for _, r := range v.Ranges {
 		c.SubOps++
 		if !r.IsNum() {
+			c.buf1 = rs
 			return BottomValue()
 		}
 		lo, ok1 := subOvf(0, r.Hi.Const)
 		hi, ok2 := subOvf(0, r.Lo.Const)
 		if !ok1 || !ok2 {
+			c.buf1 = rs
 			return BottomValue()
 		}
 		rs = append(rs, Range{Prob: r.Prob, Lo: Num(lo), Hi: Num(hi), Stride: r.Stride})
 	}
+	c.buf1 = rs
 	return c.Canonicalize(Value{kind: Set, Ranges: rs})
 }
 
@@ -308,15 +352,18 @@ func (c *Calc) Not(v Value) Value {
 	if v.Kind() != Set {
 		return v
 	}
-	p, ok := c.ProbTrue(v)
-	if !ok {
-		return BottomValue()
-	}
-	return c.Bool(1 - p)
+	return c.memoized(memoOpNot, v, TopValue(), func() Value {
+		p, ok := c.ProbTrue(v)
+		if !ok {
+			return BottomValue()
+		}
+		return c.Bool(1 - p)
+	})
 }
 
 // Bool builds the weighted 0/1 value {p[1:1:0], (1-p)[0:0:0]}, the result
-// shape of every comparison.
+// shape of every comparison. The shape is canonical by construction
+// (sorted points, probabilities summing to one), so it interns directly.
 func (c *Calc) Bool(p float64) Value {
 	if p < 0 {
 		p = 0
@@ -324,12 +371,12 @@ func (c *Calc) Bool(p float64) Value {
 	if p > 1 {
 		p = 1
 	}
-	var rs []Range
+	rs := c.small[:0]
 	if 1-p >= minProb {
 		rs = append(rs, Point(1-p, Num(0)))
 	}
 	if p >= minProb {
 		rs = append(rs, Point(p, Num(1)))
 	}
-	return Value{kind: Set, Ranges: rs}
+	return c.intern(Value{kind: Set, Ranges: rs})
 }

@@ -14,6 +14,7 @@ func BenchmarkApplyAdd(b *testing.B) {
 	c := calc()
 	x := FromRanges(numRange(0.7, 32, 256, 1), numRange(0.3, 3, 21, 3))
 	y := FromRanges(numRange(0.6, 16, 100, 4), numRange(0.4, 8, 8, 0))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Apply(ir.BinAdd, x, y)
@@ -24,6 +25,7 @@ func BenchmarkCompareNumeric(b *testing.B) {
 	c := calc()
 	x := FromRanges(numRange(1, 0, 999, 1))
 	y := FromRanges(numRange(1, 500, 1500, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Compare(ir.BinLt, x, y)
@@ -35,6 +37,7 @@ func BenchmarkCompareSymbolic(b *testing.B) {
 	n := ir.Reg(9)
 	i := FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Sym(n, 0), Stride: 1})
 	pt := Symbolic(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for k := 0; k < b.N; k++ {
 		c.Compare(ir.BinLt, i, pt)
@@ -45,6 +48,7 @@ func BenchmarkRefine(b *testing.B) {
 	c := calc()
 	x := FromRanges(numRange(1, 0, 1000, 1))
 	k := Const(500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Refine(x, ir.BinLt, k)
@@ -59,6 +63,7 @@ func BenchmarkMerge4(b *testing.B) {
 		{Val: FromRanges(numRange(1, 20, 29, 1)), W: 0.2},
 		{Val: Const(42), W: 0.1},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Merge(items)
@@ -71,6 +76,7 @@ func BenchmarkCanonicalizeCap(b *testing.B) {
 	for i := range rs {
 		rs[i] = numRange(0.125, int64(i*10), int64(i*10+5), 1)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := Value{kind: Set, Ranges: append([]Range(nil), rs...)}

@@ -2,7 +2,6 @@ package vrange
 
 import (
 	"math"
-	"sort"
 )
 
 // Config tunes the range algebra. The defaults mirror the paper: four
@@ -24,6 +23,12 @@ type Config struct {
 	// ExactPairLimit bounds exact enumeration in comparisons; larger
 	// ranges fall back to a continuous approximation.
 	ExactPairLimit int64
+	// DisableIntern turns off the hash-cons table and transfer-function
+	// memoization (intern.go), restoring the allocate-per-result behavior.
+	// Results are bit-identical either way; the flag exists for the
+	// before/after comparison in BENCH_lattice.json and for the
+	// equivalence tests.
+	DisableIntern bool
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -39,6 +44,13 @@ func DefaultConfig() Config {
 // Calc performs range arithmetic under a Config, counting sub-operations
 // (range-pair evaluations) for the paper's Figure 6 instrumentation and
 // widenings (set-cap merges and give-ups to ⊥) for the telemetry layer.
+//
+// A Calc routes every produced value through its Interner (unless
+// Cfg.DisableIntern is set) and reuses internal scratch buffers, so the
+// steady state of a propagation run — evaluating expressions whose
+// operands were seen before — performs no heap allocation. A Calc is not
+// safe for concurrent use; the analysis driver creates one per function
+// run, sharing the longer-lived Interner per call-graph SCC.
 type Calc struct {
 	Cfg    Config
 	SubOps int64
@@ -47,10 +59,52 @@ type Calc struct {
 	// symbolic ranges. A plain counter like SubOps, so the hot path never
 	// allocates.
 	Widens int64
+
+	// Intern and memo traffic of this Calc's lifetime (one engine run in
+	// the driver), folded into telemetry by the caller.
+	InternHits   int64
+	InternMisses int64
+	MemoHits     int64
+	MemoMisses   int64
+
+	// in is the hash-cons table; nil when Cfg.DisableIntern is set.
+	in *Interner
+
+	// Scratch buffers. buf1 collects transfer-function output ranges
+	// (binary, Merge, Refine, Neg); buf2 is Canonicalize's working set
+	// (Canonicalize nests inside the buf1 users, so the two never alias).
+	// small backs the 1–2 range constructors (ConstVal, Bool). Interning
+	// copies ranges out of scratch on a table miss, so no returned value
+	// ever aliases these buffers.
+	buf1  []Range
+	buf2  []Range
+	small [2]Range
 }
 
-// NewCalc returns a Calc with the given configuration.
+// NewCalc returns a Calc with the given configuration and a private
+// Interner (or none when cfg.DisableIntern is set).
 func NewCalc(cfg Config) *Calc {
+	c := newCalcNoIntern(cfg)
+	if !cfg.DisableIntern {
+		c.in = NewInterner()
+	}
+	return c
+}
+
+// NewCalcWith returns a Calc sharing an existing Interner, so intern and
+// memo state persists across many short-lived Calcs (the driver keeps one
+// Interner per call-graph SCC across passes while creating a fresh Calc
+// per function run for exact per-run accounting). it may be nil; with
+// cfg.DisableIntern it is ignored.
+func NewCalcWith(cfg Config, it *Interner) *Calc {
+	c := newCalcNoIntern(cfg)
+	if !cfg.DisableIntern {
+		c.in = it
+	}
+	return c
+}
+
+func newCalcNoIntern(cfg Config) *Calc {
 	if cfg.MaxRanges <= 0 {
 		cfg.MaxRanges = 1
 	}
@@ -63,20 +117,31 @@ func NewCalc(cfg Config) *Calc {
 	return &Calc{Cfg: cfg}
 }
 
+// Interner exposes the calc's cons table (nil when interning is disabled),
+// for sharing via NewCalcWith and for benchmark reporting.
+func (c *Calc) Interner() *Interner { return c.in }
+
 // minProb drops ranges whose probability falls below this threshold during
 // canonicalization; they cannot influence a prediction at the precision
 // the experiments report.
 const minProb = 1e-9
 
-// Canonicalize sorts, deduplicates, caps and renormalizes a Set value.
-// Values of other kinds pass through. If the range set cannot be reduced
-// to MaxRanges (incompatible symbolic ranges), the result is ⊥ — the
-// paper's give-up point.
+// Canonicalize sorts, deduplicates, caps and renormalizes a Set value,
+// then interns the result. Values of other kinds pass through. If the
+// range set cannot be reduced to MaxRanges (incompatible symbolic ranges),
+// the result is ⊥ — the paper's give-up point.
+//
+// An already-interned value is returned unchanged: only canonical values
+// are interned, and Canonicalize is idempotent on canonical input, so the
+// id doubles as a "known canonical" mark.
 func (c *Calc) Canonicalize(v Value) Value {
 	if v.kind != Set {
 		return v
 	}
-	rs := make([]Range, 0, len(v.Ranges))
+	if v.id != 0 && v.id != idInfeasible {
+		return v
+	}
+	rs := c.buf2[:0]
 	total := 0.0
 	for _, r := range v.Ranges {
 		if r.Prob < minProb {
@@ -85,6 +150,7 @@ func (c *Calc) Canonicalize(v Value) Value {
 		rs = append(rs, r)
 		total += r.Prob
 	}
+	c.buf2 = rs // keep grown capacity even on early return
 	if len(rs) == 0 {
 		return Infeasible()
 	}
@@ -94,7 +160,7 @@ func (c *Calc) Canonicalize(v Value) Value {
 			rs[i].Prob /= total
 		}
 	}
-	sort.SliceStable(rs, func(i, j int) bool { return rangeLess(rs[i], rs[j]) })
+	sortRangesStable(rs)
 	// Merge identical ranges.
 	out := rs[:0]
 	for _, r := range rs {
@@ -119,7 +185,18 @@ func (c *Calc) Canonicalize(v Value) Value {
 		rs[i] = merged
 		rs = append(rs[:j], rs[j+1:]...)
 	}
-	return Value{kind: Set, Ranges: rs}
+	return c.intern(Value{kind: Set, Ranges: rs})
+}
+
+// sortRangesStable is a stable insertion sort under rangeLess. Range sets
+// are small (bounded by MaxRanges² intermediates), where insertion sort
+// beats sort.SliceStable and — unlike it — does not allocate its closure.
+func sortRangesStable(rs []Range) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rangeLess(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
 }
 
 func rangeLess(a, b Range) bool {
@@ -140,7 +217,14 @@ func rangeLess(a, b Range) bool {
 
 // cheapestMergePair picks the pair of ranges whose union has the smallest
 // span growth. Only pairs whose bounds are mutually comparable qualify.
+// Two early exits keep the O(n²) scan off the common paths: a set already
+// within the configured cap needs no merge at all, and a gap-free pair
+// (cost 0, the scan's floor) cannot be beaten, so the first one found is
+// exactly the pair the full scan would select.
 func (c *Calc) cheapestMergePair(rs []Range) (int, int, bool) {
+	if len(rs) <= c.Cfg.MaxRanges {
+		return 0, 0, false // within the cap: nothing to merge
+	}
 	best, bestJ := -1, -1
 	bestCost := math.Inf(1)
 	for i := 0; i < len(rs); i++ {
@@ -148,6 +232,9 @@ func (c *Calc) cheapestMergePair(rs []Range) (int, int, bool) {
 			cost, ok := mergeCost(rs[i], rs[j])
 			if ok && cost < bestCost {
 				bestCost, best, bestJ = cost, i, j
+				if bestCost == 0 {
+					return best, bestJ, true
+				}
 			}
 		}
 	}
@@ -240,6 +327,13 @@ type Weighted struct {
 // each in-edge". ⊤ operands and zero-weight edges are ignored (they are
 // not yet executable or not yet evaluated — the optimistic SCCP rule); a
 // ⊥ operand on an executable edge forces ⊥.
+//
+// Merges are not memoized: the weights are edge probabilities that drift
+// on nearly every propagation step, so a (ids, weights) cache almost never
+// hits while paying an operand-copy allocation per miss — measured as the
+// single largest allocator of the whole analysis before it was removed.
+// The result still goes through Canonicalize → intern, so repeated merges
+// of the same operands return the same representative without allocating.
 func (c *Calc) Merge(items []Weighted) Value {
 	totalW := 0.0
 	for _, it := range items {
@@ -259,32 +353,40 @@ func (c *Calc) Merge(items []Weighted) Value {
 	// symbolic operand with any other contribution would create a
 	// multi-ancestor set whose comparisons can never resolve, so it gives
 	// up to ⊥ instead — except when every contribution is the same value.
-	var contrib []Value
+	// Streaming over the operands twice avoids collecting them: the first
+	// pass finds the first contribution and checks sameness, the second
+	// (only reached on mixed contributions) checks for symbolic bounds.
+	first := Value{}
+	haveFirst := false
+	allSame := true
+	nContrib := 0
 	for _, it := range items {
 		if it.W <= 0 || it.Val.Kind() != Set || it.Val.IsInfeasible() {
 			continue
 		}
-		contrib = append(contrib, it.Val)
-	}
-	if len(contrib) > 1 {
-		allSame := true
-		for _, v := range contrib[1:] {
-			if !v.Equal(contrib[0]) {
-				allSame = false
-				break
-			}
+		nContrib++
+		if !haveFirst {
+			first = it.Val
+			haveFirst = true
+			continue
 		}
-		if !allSame {
-			for _, v := range contrib {
-				for _, r := range v.Ranges {
-					if !r.Lo.IsNum() || !r.Hi.IsNum() {
-						return BottomValue()
-					}
+		if allSame && !it.Val.Equal(first) {
+			allSame = false
+		}
+	}
+	if nContrib > 1 && !allSame {
+		for _, it := range items {
+			if it.W <= 0 || it.Val.Kind() != Set || it.Val.IsInfeasible() {
+				continue
+			}
+			for _, r := range it.Val.Ranges {
+				if !r.Lo.IsNum() || !r.Hi.IsNum() {
+					return BottomValue()
 				}
 			}
 		}
 	}
-	var rs []Range
+	rs := c.buf1[:0]
 	for _, it := range items {
 		if it.W <= 0 || it.Val.Kind() != Set || it.Val.IsInfeasible() {
 			continue
@@ -296,6 +398,7 @@ func (c *Calc) Merge(items []Weighted) Value {
 			rs = append(rs, r)
 		}
 	}
+	c.buf1 = rs
 	if len(rs) == 0 {
 		return TopValue()
 	}

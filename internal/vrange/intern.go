@@ -1,0 +1,249 @@
+package vrange
+
+import (
+	"sync/atomic"
+
+	"vrp/internal/ir"
+)
+
+// Hash-consing (interning) gives every distinct canonical Value one shared
+// representative carrying a globally unique id. Once two values are
+// interned, "are they equal?" degrades from a structural range-by-range
+// walk to a single integer comparison — the fixed-point change detectors
+// in the propagation engine and the driver's dirty-set test run this
+// comparison millions of times per analysis.
+//
+// Soundness rules:
+//
+//   - Only canonical values are interned (outputs of Canonicalize, the
+//     boolean shape of Bool, and trivially canonical point values), so a
+//     representative never needs re-canonicalization.
+//   - Representatives own their Ranges slice and are immutable by
+//     convention; callers must never write through Value.Ranges of an
+//     interned value.
+//   - Ids come from one process-global atomic counter, so values interned
+//     by different tables can never collide on id: id equality always
+//     implies bit equality, while id inequality implies nothing (the same
+//     content interned in two tables carries two ids, and the equality
+//     functions fall back to the structural walk).
+//   - The table key is the 64-bit FNV-1a fingerprint, but every lookup is
+//     confirmed with BitEqual before a representative is reused: a hash
+//     collision costs a bucket scan, never a wrong unification
+//     (TestForcedCollisionNotUnified pins this).
+//
+// An Interner must not be shared between concurrently running engines: the
+// driver keeps one per call-graph SCC, owned by whichever worker holds the
+// SCC during the current wave (wave barriers give the required
+// happens-before between passes).
+
+// Reserved ids for the three contentless lattice values, assigned by their
+// constructors so even never-interned code gets the id fast path on them.
+const (
+	idTop        = 1
+	idBottom     = 2
+	idInfeasible = 3
+	reservedIDs  = 3
+)
+
+// idCounter allocates globally unique value ids; 1..reservedIDs are fixed.
+var idCounter atomic.Uint64
+
+func init() { idCounter.Store(reservedIDs) }
+
+// memoKey identifies one fixed-arity transfer-function application by the
+// interned ids of its operands. Ids globally identify content, so an exact
+// key match guarantees an identical computation — no verification needed.
+type memoKey struct {
+	op   uint32 // ir.BinOp, or one of the memoOp* codes
+	a, b uint64 // operand ids (b == 0 for unary ops)
+}
+
+// Operation codes beyond ir.BinOp for the fixed-arity memo table.
+const (
+	memoOpRefineBase = 0x100 // + ir.BinOp relation
+	memoOpNeg        = 0x200
+	memoOpNot        = 0x201
+)
+
+// memoEntry stores a transfer function's interned result together with the
+// counter deltas the computation produced, so a memo hit replays exactly
+// the SubOps/Widens accounting of a recomputation (Stats stay bit-identical
+// whether or not the cache hits).
+type memoEntry struct {
+	result Value
+	subOps int64
+	widens int64
+}
+
+// memoCap bounds each memo table. When a table fills up it is dropped and
+// rebuilt from empty (epoch eviction): O(1) bookkeeping, no recency
+// tracking on the hot path, and the steady-state working set of a
+// function's fixpoint easily fits. Eviction only ever costs recomputation.
+const memoCap = 1 << 14
+
+// Interner is a hash-cons table plus the transfer-function memo cache
+// keyed on interned ids. The zero value is not ready; use NewInterner.
+//
+// The table stores the first representative of each fingerprint inline in
+// the map, so the common miss (a fresh fingerprint) costs only the ranges
+// copy and an amortized map insert — no per-entry bucket slice. Genuine
+// 64-bit fingerprint collisions are vanishingly rare; they spill into the
+// lazily created overflow map.
+type Interner struct {
+	table    map[uint64]Value
+	overflow map[uint64][]Value // further values per colliding fingerprint
+	memo     map[memoKey]memoEntry
+
+	memoSize int // entries across memo
+}
+
+// NewInterner returns an empty cons table.
+func NewInterner() *Interner {
+	return &Interner{
+		table: make(map[uint64]Value),
+		memo:  make(map[memoKey]memoEntry),
+	}
+}
+
+// intern returns the canonical representative of v, creating one (with a
+// fresh global id and an owned copy of the ranges) on first sight. v's
+// Ranges may alias caller scratch: they are only read, and copied on miss.
+func (it *Interner) intern(v Value, hits, misses *int64) Value {
+	if v.id != 0 {
+		return v // already a representative
+	}
+	fp := fingerprintValue(v)
+	first, occupied := it.table[fp]
+	if occupied {
+		if first.BitEqual(v) {
+			*hits++
+			return first
+		}
+		for _, cand := range it.overflow[fp] {
+			if cand.BitEqual(v) {
+				*hits++
+				return cand
+			}
+		}
+	}
+	*misses++
+	owned := Value{
+		kind: v.kind,
+		id:   idCounter.Add(1),
+	}
+	if len(v.Ranges) > 0 {
+		owned.Ranges = append(make([]Range, 0, len(v.Ranges)), v.Ranges...)
+	}
+	if occupied {
+		if it.overflow == nil {
+			it.overflow = make(map[uint64][]Value)
+		}
+		it.overflow[fp] = append(it.overflow[fp], owned)
+	} else {
+		it.table[fp] = owned
+	}
+	return owned
+}
+
+// memoGet looks up a fixed-arity transfer-function application.
+func (it *Interner) memoGet(k memoKey) (memoEntry, bool) {
+	e, ok := it.memo[k]
+	return e, ok
+}
+
+// memoPut stores a fixed-arity result, evicting the whole table when full.
+func (it *Interner) memoPut(k memoKey, e memoEntry) {
+	if it.memoSize >= memoCap {
+		it.memo = make(map[memoKey]memoEntry)
+		it.memoSize = 0
+	}
+	it.memo[k] = e
+	it.memoSize++
+}
+
+// Size reports the number of distinct interned values (for benchmarks and
+// diagnostics).
+func (it *Interner) Size() int {
+	n := len(it.table)
+	for _, bucket := range it.overflow {
+		n += len(bucket)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------- Calc API
+
+// intern routes a produced value through the cons table. With interning
+// disabled (no table), it copies the ranges out of caller scratch instead,
+// reproducing the pre-interning allocation behavior exactly.
+func (c *Calc) intern(v Value) Value {
+	if v.kind == Set && len(v.Ranges) == 0 {
+		return Infeasible()
+	}
+	if c.in == nil {
+		if v.id != 0 {
+			return v
+		}
+		if v.kind != Set {
+			return v
+		}
+		return Value{kind: Set, Ranges: append(make([]Range, 0, len(v.Ranges)), v.Ranges...)}
+	}
+	return c.in.intern(v, &c.InternHits, &c.InternMisses)
+}
+
+// ConstVal is the interned form of Const: the hot path for OpConst
+// evaluation and assertion constants, allocation-free on intern hits.
+func (c *Calc) ConstVal(k int64) Value {
+	if c.in == nil {
+		return Const(k)
+	}
+	rs := c.small[:0]
+	rs = append(rs, Point(1, Num(k)))
+	return c.intern(Value{kind: Set, Ranges: rs})
+}
+
+// SymbolicVal is the interned form of Symbolic; see ConstVal.
+func (c *Calc) SymbolicVal(v ir.Reg) Value {
+	if c.in == nil {
+		return Symbolic(v)
+	}
+	rs := c.small[:0]
+	rs = append(rs, Point(1, Sym(v, 0)))
+	return c.intern(Value{kind: Set, Ranges: rs})
+}
+
+// PointVal is the interned single-point value {1[b:b:0]}.
+func (c *Calc) PointVal(b Bound) Value {
+	if c.in == nil {
+		return Value{kind: Set, Ranges: []Range{Point(1, b)}}
+	}
+	rs := c.small[:0]
+	rs = append(rs, Point(1, b))
+	return c.intern(Value{kind: Set, Ranges: rs})
+}
+
+// memoized wraps a fixed-arity transfer function: operands must both be
+// interned (nonzero id) for the cache to apply — an id uniquely identifies
+// content, so the key needs no verification; otherwise the computation
+// runs directly. Unary operations pass TopValue() as the b sentinel (their
+// op codes are disjoint from the binary ones, so no key can collide). On a
+// hit the stored SubOps/Widens deltas are replayed so the accounting is
+// identical to a recomputation.
+func (c *Calc) memoized(op uint32, a, b Value, compute func() Value) Value {
+	if c.in == nil || a.id == 0 || b.id == 0 {
+		return compute()
+	}
+	k := memoKey{op: op, a: a.id, b: b.id}
+	if e, ok := c.in.memoGet(k); ok {
+		c.MemoHits++
+		c.SubOps += e.subOps
+		c.Widens += e.widens
+		return e.result
+	}
+	c.MemoMisses++
+	s0, w0 := c.SubOps, c.Widens
+	v := compute()
+	c.in.memoPut(k, memoEntry{result: v, subOps: c.SubOps - s0, widens: c.Widens - w0})
+	return v
+}

@@ -1,0 +1,143 @@
+package vrange
+
+import (
+	"testing"
+
+	"vrp/internal/ir"
+)
+
+// TestForcedCollisionNotUnified pins the cons table's collision safety:
+// two structurally different values whose fingerprints are forced equal
+// via testFingerprintHook must stay distinct representatives. A hash
+// collision may cost an overflow-bucket scan, never a wrong unification.
+func TestForcedCollisionNotUnified(t *testing.T) {
+	a := FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Num(9), Stride: 1})
+	b := FromRanges(Range{Prob: 1, Lo: Num(100), Hi: Num(200), Stride: 1})
+	if a.BitEqual(b) {
+		t.Fatal("test values must differ structurally")
+	}
+
+	testFingerprintHook = func(Value) (uint64, bool) { return 0xdeadbeef, true }
+	defer func() { testFingerprintHook = nil }()
+
+	it := NewInterner()
+	var hits, misses int64
+	ia := it.intern(a, &hits, &misses)
+	ib := it.intern(b, &hits, &misses)
+	if hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0 and 2", hits, misses)
+	}
+	if ia.id == ib.id {
+		t.Fatalf("colliding values were unified: id=%d", ia.id)
+	}
+	if !ia.BitEqual(a) || !ib.BitEqual(b) {
+		t.Error("representatives must be bit-equal to their sources")
+	}
+
+	// Re-interning under the same forced collision must hit the existing
+	// representatives, in both the inline slot and the overflow bucket.
+	if r := it.intern(a, &hits, &misses); r.id != ia.id {
+		t.Errorf("re-intern of a: id %d, want %d", r.id, ia.id)
+	}
+	if r := it.intern(b, &hits, &misses); r.id != ib.id {
+		t.Errorf("re-intern of b: id %d, want %d", r.id, ib.id)
+	}
+	if hits != 2 || misses != 2 {
+		t.Errorf("after re-intern: hits=%d misses=%d, want 2 and 2", hits, misses)
+	}
+	if it.Size() != 2 {
+		t.Errorf("Size() = %d, want 2", it.Size())
+	}
+}
+
+// TestInternIdentity pins the core hash-cons property: producing the same
+// canonical value twice through one Interner yields the identical
+// representative (same nonzero id), so fixed-point change tests degrade to
+// integer compares.
+func TestInternIdentity(t *testing.T) {
+	c := NewCalc(DefaultConfig())
+	x := FromRanges(Range{Prob: 1, Lo: Num(0), Hi: Num(9), Stride: 1})
+	y := FromRanges(Range{Prob: 1, Lo: Num(3), Hi: Num(5), Stride: 1})
+	a := c.Apply(ir.BinAdd, x, y)
+	b := c.Apply(ir.BinAdd, x, y)
+	if a.id == 0 || a.id != b.id {
+		t.Fatalf("repeated Apply not hash-consed: ids %d, %d", a.id, b.id)
+	}
+	if k1, k2 := c.ConstVal(7), c.ConstVal(7); k1.id == 0 || k1.id != k2.id {
+		t.Errorf("ConstVal not hash-consed: ids %d, %d", k1.id, k2.id)
+	}
+}
+
+// TestInternSteadyStateAllocFree pins the allocation contract: once a
+// transfer function's operands and result are in the tables, re-running it
+// performs zero heap allocations.
+func TestInternSteadyStateAllocFree(t *testing.T) {
+	c := NewCalc(DefaultConfig())
+	x := c.Canonicalize(FromRanges(Range{Prob: 0.7, Lo: Num(0), Hi: Num(63), Stride: 1},
+		Range{Prob: 0.3, Lo: Num(100), Hi: Num(120), Stride: 2}))
+	y := c.Canonicalize(FromRanges(Range{Prob: 1, Lo: Num(1), Hi: Num(7), Stride: 1}))
+	items := []Weighted{{Val: x, W: 0.5}, {Val: y, W: 0.5}}
+
+	// Warm every table (intern + memo) once.
+	c.Apply(ir.BinAdd, x, y)
+	c.Refine(x, ir.BinLt, y)
+	c.Merge(items)
+	c.ConstVal(42)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Apply", func() { c.Apply(ir.BinAdd, x, y) }},
+		{"Refine", func() { c.Refine(x, ir.BinLt, y) }},
+		{"Merge", func() { c.Merge(items) }},
+		{"ConstVal", func() { c.ConstVal(42) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(50, tc.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op in steady state, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestInternDisabledBitIdentical pins the equivalence contract of
+// Config.DisableIntern: every transfer function produces bit-identical
+// values (and identical SubOps accounting) with the interner on and off.
+func TestInternDisabledBitIdentical(t *testing.T) {
+	on := NewCalc(DefaultConfig())
+	offCfg := DefaultConfig()
+	offCfg.DisableIntern = true
+	off := NewCalc(offCfg)
+
+	mk := func(c *Calc) []Value {
+		x := c.Canonicalize(FromRanges(Range{Prob: 0.6, Lo: Num(-5), Hi: Num(20), Stride: 1},
+			Range{Prob: 0.4, Lo: Num(64), Hi: Num(64), Stride: 0}))
+		y := c.Canonicalize(FromRanges(Range{Prob: 1, Lo: Num(2), Hi: Num(10), Stride: 2}))
+		s := c.SymbolicVal(ir.Reg(3))
+		var out []Value
+		for _, op := range []ir.BinOp{ir.BinAdd, ir.BinSub, ir.BinMul, ir.BinDiv} {
+			out = append(out, c.Apply(op, x, y))
+		}
+		out = append(out,
+			c.Refine(x, ir.BinLt, y),
+			c.Refine(y, ir.BinGe, c.ConstVal(4)),
+			c.Merge([]Weighted{{Val: x, W: 0.25}, {Val: y, W: 0.75}}),
+			c.Neg(y),
+			c.Apply(ir.BinAdd, s, y),
+		)
+		return out
+	}
+
+	a, b := mk(on), mk(off)
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].BitEqual(b[i]) {
+			t.Errorf("result %d differs: intern %v, nointern %v", i, a[i], b[i])
+		}
+	}
+	if on.SubOps != off.SubOps {
+		t.Errorf("SubOps differ: intern %d, nointern %d", on.SubOps, off.SubOps)
+	}
+}

@@ -12,7 +12,16 @@ import (
 // When x is ⊥ but the constraint pins it to a single value (x == k), the
 // constraint itself supplies the range: this is how equality tests recover
 // information even for loads from memory.
+//
+// Refinements over interned operands are memoized under op codes disjoint
+// from the binary-operator space (memoOpRefineBase + rel).
 func (c *Calc) Refine(v Value, rel ir.BinOp, other Value) Value {
+	return c.memoized(memoOpRefineBase+uint32(rel), v, other, func() Value {
+		return c.refineUncached(v, rel, other)
+	})
+}
+
+func (c *Calc) refineUncached(v Value, rel ir.BinOp, other Value) Value {
 	if other.IsTop() {
 		return TopValue() // constraint operand not yet evaluated
 	}
@@ -27,7 +36,7 @@ func (c *Calc) Refine(v Value, rel ir.BinOp, other Value) Value {
 			if !c.Cfg.Symbolic && !other.Ranges[0].IsNum() {
 				return BottomValue()
 			}
-			return Value{kind: Set, Ranges: []Range{Point(1, other.Ranges[0].Lo)}}
+			return c.PointVal(other.Ranges[0].Lo)
 		}
 		return BottomValue()
 	}
@@ -54,12 +63,12 @@ func (c *Calc) Refine(v Value, rel ir.BinOp, other Value) Value {
 		if !feasible {
 			return Infeasible()
 		}
-		return Value{kind: Set, Ranges: []Range{Point(1, pt)}}
+		return c.PointVal(pt)
 	}
 
 	hullLo, hullHi, hullOK := c.hull(other)
 
-	var out []Range
+	out := c.buf1[:0]
 	for _, r := range v.Ranges {
 		c.SubOps++
 		switch rel {
@@ -99,11 +108,12 @@ func (c *Calc) Refine(v Value, rel ir.BinOp, other Value) Value {
 			nr2.Prob = r.Prob * f1 * f2
 			out = append(out, nr2)
 		case ir.BinNe:
-			out = append(out, c.excludePoint(r, other)...)
+			out = c.excludePoint(out, r, other)
 		default:
 			out = append(out, r)
 		}
 	}
+	c.buf1 = out
 	if len(out) == 0 {
 		return Infeasible()
 	}
@@ -247,22 +257,23 @@ func (c *Calc) trimAbove(r Range, b Bound, strict bool) (Range, float64) {
 	return r, 1
 }
 
-// excludePoint implements `x != k` refinement: removes the point from the
-// range, splitting interior exclusions when the constant is on the stride
-// grid (the range cap in Canonicalize bounds the growth).
-func (c *Calc) excludePoint(r Range, other Value) []Range {
+// excludePoint implements `x != k` refinement, appending to dst: removes
+// the point from the range, splitting interior exclusions when the
+// constant is on the stride grid (the range cap in Canonicalize bounds the
+// growth).
+func (c *Calc) excludePoint(dst []Range, r Range, other Value) []Range {
 	if other.Kind() != Set || len(other.Ranges) != 1 || !other.Ranges[0].IsPoint() {
-		return []Range{r}
+		return append(dst, r)
 	}
 	k := other.Ranges[0].Lo
 	f, ok := c.fracContains(r, k)
 	if !ok || f == 0 {
-		return []Range{r}
+		return append(dst, r)
 	}
 	total, _ := c.count(r)
 	keep := r.Prob * (1 - 1/total)
 	if keep < minProb {
-		return nil
+		return dst
 	}
 	s := r.Stride
 	if s <= 0 {
@@ -272,7 +283,7 @@ func (c *Calc) excludePoint(r Range, other Value) []Range {
 		// Exclude the low endpoint.
 		nl, okA := r.Lo.addConst(s)
 		if !okA {
-			return []Range{r}
+			return append(dst, r)
 		}
 		nr := r
 		nr.Lo = nl
@@ -280,12 +291,12 @@ func (c *Calc) excludePoint(r Range, other Value) []Range {
 		if ddd, ok2 := nr.Hi.diff(nr.Lo); ok2 && ddd == 0 {
 			nr.Stride = 0
 		}
-		return []Range{nr}
+		return append(dst, nr)
 	}
 	if d, okd := k.diff(r.Hi); okd && d == 0 {
 		nh, okA := r.Hi.addConst(-s)
 		if !okA {
-			return []Range{r}
+			return append(dst, r)
 		}
 		nr := r
 		nr.Hi = nh
@@ -293,7 +304,7 @@ func (c *Calc) excludePoint(r Range, other Value) []Range {
 		if ddd, ok2 := nr.Hi.diff(nr.Lo); ok2 && ddd == 0 {
 			nr.Stride = 0
 		}
-		return []Range{nr}
+		return append(dst, nr)
 	}
 	// Interior exclusion: split when fully numeric.
 	if r.IsNum() && k.IsNum() {
@@ -310,17 +321,16 @@ func (c *Calc) excludePoint(r Range, other Value) []Range {
 		if right.Lo == right.Hi {
 			right.Stride = 0
 		}
-		var out []Range
 		if loCnt > 0 {
-			out = append(out, left)
+			dst = append(dst, left)
 		}
 		if hiCnt > 0 {
-			out = append(out, right)
+			dst = append(dst, right)
 		}
-		return out
+		return dst
 	}
 	// Cannot reshape: keep the range, scale the probability.
 	nr := r
 	nr.Prob = keep
-	return []Range{nr}
+	return append(dst, nr)
 }

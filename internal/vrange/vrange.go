@@ -202,16 +202,23 @@ func formatProb(p float64) string {
 type Value struct {
 	kind   Kind
 	Ranges []Range
+
+	// id is the hash-cons identity: nonzero for interned representatives
+	// (see intern.go) and for the three fixed contentless values. Equal
+	// nonzero ids imply bit-equal values — ids are globally unique — so
+	// the equality predicates short-circuit on it. A zero id means "not
+	// interned" and implies nothing.
+	id uint64
 }
 
 // TopValue is the optimistic initial assignment.
-func TopValue() Value { return Value{kind: Top} }
+func TopValue() Value { return Value{kind: Top, id: idTop} }
 
 // BottomValue is the unpredictable assignment.
-func BottomValue() Value { return Value{kind: Bottom} }
+func BottomValue() Value { return Value{kind: Bottom, id: idBottom} }
 
 // Infeasible is the empty set: no runtime value satisfies the constraints.
-func Infeasible() Value { return Value{kind: Set} }
+func Infeasible() Value { return Value{kind: Set, id: idInfeasible} }
 
 // Const returns the single-constant value {1[c:c:0]}.
 func Const(c int64) Value {
@@ -305,7 +312,13 @@ const probEq = 1e-9
 
 // Equal reports whether two values are identical up to probability
 // tolerance; the propagation engine uses this as its change detector.
+// Interned values (intern.go) compare by id: equal nonzero ids imply bit
+// equality, turning the fixed-point "did this value change?" test into an
+// integer comparison on the hot path.
 func (v Value) Equal(o Value) bool {
+	if v.id != 0 && v.id == o.id {
+		return true
+	}
 	if v.kind != o.kind {
 		return false
 	}
@@ -333,6 +346,9 @@ func (v Value) Equal(o Value) bool {
 // frequency convergence is benign and settles on its own, whereas a value
 // whose bounds keep moving is enumerating a loop.
 func (v Value) SameShape(o Value) bool {
+	if v.id != 0 && v.id == o.id {
+		return true
+	}
 	if v.kind != o.kind {
 		return false
 	}

@@ -49,6 +49,11 @@ type pathResult struct {
 	lowers []vrange.Bound
 }
 
+// walker is the derivation chain matcher. One instance lives in each
+// function's engineScratch and is recycled across derivation attempts:
+// paths/deps restart empty per derive, uppers/lowers/onPath are stacks
+// maintained with push-on-entry/pop-on-return discipline, so steady-state
+// walks never allocate.
 type walker struct {
 	e     *engine
 	phi   *ir.Instr
@@ -56,16 +61,21 @@ type walker struct {
 	paths []pathResult
 	state deriveStatus
 	deps  []ir.Reg // registers consulted; value changes re-trigger derivation
+
+	uppers []vrange.Bound // bounds collected along the current path
+	lowers []vrange.Bound
+	onPath []bool // by register: on the current walk stack
 }
 
 // derive attempts the template match for a loop-header φ.
 func (e *engine) derive(phi *ir.Instr) (vrange.Value, deriveStatus) {
 	b := phi.Block
+	sc := e.sc
 
 	// Initial value: merge of the operands arriving on forward edges.
-	var initItems []vrange.Weighted
-	var initRegs []ir.Reg
-	var backOps []ir.Reg
+	initItems := sc.dvItems[:0]
+	initRegs := sc.dvRegs[:0]
+	backOps := sc.dvBack[:0]
 	for i, pe := range b.Preds {
 		if e.backEdges[pe] {
 			backOps = append(backOps, phi.Args[i])
@@ -74,6 +84,7 @@ func (e *engine) derive(phi *ir.Instr) (vrange.Value, deriveStatus) {
 		initRegs = append(initRegs, phi.Args[i])
 		initItems = append(initItems, vrange.Weighted{Val: e.val[phi.Args[i]], W: 1})
 	}
+	sc.dvItems, sc.dvRegs, sc.dvBack = initItems[:0], initRegs[:0], backOps[:0]
 	if len(backOps) == 0 || len(initRegs) == 0 {
 		return vrange.Value{}, deriveFail
 	}
@@ -82,12 +93,17 @@ func (e *engine) derive(phi *ir.Instr) (vrange.Value, deriveStatus) {
 		return vrange.Value{}, deriveNotReady
 	}
 
-	w := &walker{e: e, phi: phi, state: deriveOK}
+	w := &sc.dw
+	w.e, w.phi, w.steps, w.state = e, phi, 0, deriveOK
+	w.paths = w.paths[:0]
+	w.deps = w.deps[:0]
+	w.uppers = w.uppers[:0]
+	w.lowers = w.lowers[:0]
 	for _, r := range initRegs {
 		w.deps = append(w.deps, r)
 	}
 	for _, op := range backOps {
-		w.walk(op, 0, nil, nil, map[ir.Reg]bool{})
+		w.walk(op, 0)
 		if w.state != deriveOK {
 			break
 		}
@@ -123,8 +139,11 @@ func (e *engine) recordDeriveDeps(phi *ir.Instr, deps []ir.Reg) {
 }
 
 // walk follows the chain backwards from reg, with inc the net increment
-// applied after the current position (later in program order).
-func (w *walker) walk(reg ir.Reg, inc int64, uppers, lowers []vrange.Bound, onPath map[ir.Reg]bool) {
+// applied after the current position (later in program order). The
+// uppers/lowers bound stacks and the onPath marks live on the walker and
+// are restored on return; a completed path copies the stacks into its
+// pathResult.
+func (w *walker) walk(reg ir.Reg, inc int64) {
 	if w.state != deriveOK {
 		return
 	}
@@ -133,7 +152,7 @@ func (w *walker) walk(reg ir.Reg, inc int64, uppers, lowers []vrange.Bound, onPa
 		w.state = deriveFail
 		return
 	}
-	if onPath[reg] {
+	if w.onPath[reg] {
 		w.state = deriveFail // cycle through an inner structure
 		return
 	}
@@ -143,46 +162,56 @@ func (w *walker) walk(reg ir.Reg, inc int64, uppers, lowers []vrange.Bound, onPa
 		return
 	}
 	if def == w.phi {
-		w.paths = append(w.paths, pathResult{inc: inc, hasInc: true, uppers: uppers, lowers: lowers})
+		var us, ls []vrange.Bound
+		if len(w.uppers) > 0 {
+			us = append([]vrange.Bound(nil), w.uppers...)
+		}
+		if len(w.lowers) > 0 {
+			ls = append([]vrange.Bound(nil), w.lowers...)
+		}
+		w.paths = append(w.paths, pathResult{inc: inc, hasInc: true, uppers: us, lowers: ls})
 		return
 	}
-	onPath[reg] = true
-	defer delete(onPath, reg)
+	w.onPath[reg] = true
+	defer func() { w.onPath[reg] = false }()
 
 	switch def.Op {
 	case ir.OpCopy:
-		w.walk(def.A, inc, uppers, lowers, onPath)
+		w.walk(def.A, inc)
 
 	case ir.OpAssert:
-		if u, l, st := w.e.assertEffectiveBounds(def, inc); st != deriveOK {
+		if u, l, hasU, hasL, st := w.e.assertEffectiveBounds(def, inc); st != deriveOK {
 			if st == deriveNotReady {
 				w.state = deriveNotReady
 			}
 			// Unusable asserts (e.g. !=) are transparent.
-			w.walk(def.Parent, inc, uppers, lowers, onPath)
+			w.walk(def.Parent, inc)
 			return
 		} else {
-			if u != nil {
-				uppers = append(append([]vrange.Bound(nil), uppers...), *u)
+			nu, nl := len(w.uppers), len(w.lowers)
+			if hasU {
+				w.uppers = append(w.uppers, u)
 			}
-			if l != nil {
-				lowers = append(append([]vrange.Bound(nil), lowers...), *l)
+			if hasL {
+				w.lowers = append(w.lowers, l)
 			}
-			w.walk(def.Parent, inc, uppers, lowers, onPath)
+			w.walk(def.Parent, inc)
+			w.uppers = w.uppers[:nu]
+			w.lowers = w.lowers[:nl]
 		}
 
 	case ir.OpBin:
 		switch def.BinOp {
 		case ir.BinAdd:
 			if k, st := w.constOperand(def.B); st == deriveOK {
-				w.walk(def.A, inc+k, uppers, lowers, onPath)
+				w.walk(def.A, inc+k)
 				return
 			} else if st == deriveNotReady {
 				w.state = deriveNotReady
 				return
 			}
 			if k, st := w.constOperand(def.A); st == deriveOK {
-				w.walk(def.B, inc+k, uppers, lowers, onPath)
+				w.walk(def.B, inc+k)
 				return
 			} else if st == deriveNotReady {
 				w.state = deriveNotReady
@@ -191,7 +220,7 @@ func (w *walker) walk(reg ir.Reg, inc int64, uppers, lowers []vrange.Bound, onPa
 			w.state = deriveFail
 		case ir.BinSub:
 			if k, st := w.constOperand(def.B); st == deriveOK {
-				w.walk(def.A, inc-k, uppers, lowers, onPath)
+				w.walk(def.A, inc-k)
 				return
 			} else if st == deriveNotReady {
 				w.state = deriveNotReady
@@ -214,10 +243,10 @@ func (w *walker) walk(reg ir.Reg, inc int64, uppers, lowers []vrange.Bound, onPa
 		walked := false
 		for _, a := range def.Args {
 			o := w.e.chaseCopyAssert(a, def.Dst)
-			if o == def.Dst || onPath[o] {
+			if o == def.Dst || w.onPath[o] {
 				continue
 			}
-			w.walk(a, inc, uppers, lowers, onPath)
+			w.walk(a, inc)
 			if w.state != deriveOK {
 				return
 			}
@@ -249,8 +278,10 @@ func (w *walker) constOperand(r ir.Reg) (int64, deriveStatus) {
 
 // assertEffectiveBounds converts a π-instruction on the chain into an
 // effective bound on the φ value: the asserted limit shifted by the
-// increments applied after the test (inc).
-func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower *vrange.Bound, st deriveStatus) {
+// increments applied after the test (inc). hasUp/hasLo report which of
+// the value results are meaningful (returned by value so the hot walk
+// never heap-allocates a Bound).
+func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower vrange.Bound, hasUp, hasLo bool, st deriveStatus) {
 	var bound vrange.Bound
 	if def.B == ir.None {
 		bound = vrange.Num(def.Const)
@@ -258,7 +289,7 @@ func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower *
 		v := e.val[def.B]
 		switch {
 		case v.IsTop():
-			return nil, nil, deriveNotReady
+			return vrange.Bound{}, vrange.Bound{}, false, false, deriveNotReady
 		case v.Kind() == vrange.Set && !v.IsInfeasible():
 			// A loop-variant bound (its root is itself a φ, e.g. the
 			// triangular `j < i`) keeps its symbolic name: the per-entry
@@ -277,7 +308,7 @@ func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower *
 			lo, hi, ok := hullOf(v)
 			if !ok {
 				if !e.cfg.Range.Symbolic {
-					return nil, nil, deriveFail
+					return vrange.Bound{}, vrange.Bound{}, false, false, deriveFail
 				}
 				bound = vrange.Sym(e.rootOf(def.B), 0)
 				break
@@ -290,7 +321,7 @@ func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower *
 			}
 		default: // ⊥
 			if !e.cfg.Range.Symbolic {
-				return nil, nil, deriveFail
+				return vrange.Bound{}, vrange.Bound{}, false, false, deriveFail
 			}
 			bound = vrange.Sym(e.rootOf(def.B), 0)
 		}
@@ -309,26 +340,25 @@ func (e *engine) assertEffectiveBounds(def *ir.Instr, inc int64) (upper, lower *
 	switch def.BinOp {
 	case ir.BinLt:
 		if b, ok := shift(bound, inc-1); ok {
-			return &b, nil, deriveOK
+			return b, vrange.Bound{}, true, false, deriveOK
 		}
 	case ir.BinLe, ir.BinEq:
 		if b, ok := shift(bound, inc); ok {
 			if def.BinOp == ir.BinEq {
-				lb := b
-				return &b, &lb, deriveOK
+				return b, b, true, true, deriveOK
 			}
-			return &b, nil, deriveOK
+			return b, vrange.Bound{}, true, false, deriveOK
 		}
 	case ir.BinGt:
 		if b, ok := shift(bound, inc+1); ok {
-			return nil, &b, deriveOK
+			return vrange.Bound{}, b, false, true, deriveOK
 		}
 	case ir.BinGe:
 		if b, ok := shift(bound, inc); ok {
-			return nil, &b, deriveOK
+			return vrange.Bound{}, b, false, true, deriveOK
 		}
 	}
-	return nil, nil, deriveFail
+	return vrange.Bound{}, vrange.Bound{}, false, false, deriveFail
 }
 
 func hullOf(v vrange.Value) (lo, hi vrange.Bound, ok bool) {
@@ -402,7 +432,7 @@ func (e *engine) combinePaths(phi *ir.Instr, initVal vrange.Value, initRegs []ir
 	}
 	if !pos && !neg {
 		// The variable never changes around the loop: its value is init.
-		e.derivedStrict[phi] = false
+		e.derivedStrict[phi.Idx] = false
 		return initVal, deriveOK
 	}
 	stride = gcdI(stride, initStride)
@@ -509,7 +539,7 @@ func (e *engine) combinePaths(phi *ir.Instr, initVal vrange.Value, initRegs []ir
 		}
 	}
 
-	e.derivedStrict[phi] = strict
+	e.derivedStrict[phi.Idx] = strict
 	// Normalise: empty ranges mean the loop body re-entry is impossible;
 	// the φ value is then just the initial value.
 	if d, ok := hi.Diff(lo); ok {
@@ -617,7 +647,7 @@ func (e *engine) coupledBound(phi *ir.Instr, initFar vrange.Bound, paths []pathR
 // value, so trips = count-1).
 func (e *engine) siblingTripCount(phi *ir.Instr) (int64, ir.Reg, bool) {
 	for _, in := range phi.Block.Phis() {
-		if in == phi || in.Op != ir.OpPhi || !e.derived[in] || !e.derivedStrict[in] {
+		if in == phi || in.Op != ir.OpPhi || !e.derived[in.Idx] || !e.derivedStrict[in.Idx] {
 			continue
 		}
 		v := e.val[in.Dst]

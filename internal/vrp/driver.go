@@ -123,6 +123,21 @@ type driver struct {
 	// exactly as the classic sequential driver did.
 	sccFuncs [][]int
 
+	// interners holds one persistent hash-cons table per call-graph SCC
+	// (nil until the SCC first runs, or forever when interning is
+	// disabled). An SCC is owned by exactly one task per wave and appears
+	// in exactly one wave, and waves are separated by WaitGroup barriers,
+	// so the table is never touched concurrently while intern and memo
+	// state persists across passes — re-analysis of a changed function
+	// replays mostly-cached transfer functions.
+	interners []*vrange.Interner
+
+	// scratch holds one recycled engine allocation pool per function
+	// (dominator structures plus zeroed-on-reuse working arrays), created
+	// lazily under the same ownership discipline as interners: one task
+	// per function per wave, barriers between passes.
+	scratch []*engineScratch
+
 	// rec is the run's telemetry recorder, nil when disabled. Counters
 	// and events go into per-function slots (owned by the task analyzing
 	// the function, like results and diags), so enabled telemetry is
@@ -152,6 +167,8 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 		diags:    make([][]Diagnostic, n),
 		rec:      cfg.Telemetry,
 	}
+	d.interners = make([]*vrange.Interner, len(cg.SCCs))
+	d.scratch = make([]*engineScratch, n)
 	if d.rec != nil {
 		names := make([]string, n)
 		for i, f := range cg.Funcs {
@@ -355,6 +372,7 @@ func (d *driver) fillStats(s *Stats) {
 	s.FuncsAnalyzed = d.stats.funcsAnalyzed
 	s.FuncsSkipped = d.stats.funcsSkipped
 	s.FuncsDegraded = d.stats.funcsDegraded
+	s.RecWidens = d.ip.recWidens.Load()
 }
 
 // collectDiags flattens the per-function diagnostic slots in
@@ -442,6 +460,11 @@ func (d *driver) runWave(wi int, wave []int) {
 func (d *driver) runSCC(wi, scc int) {
 	var local statCounters
 	changed := false
+	it := d.interners[scc]
+	if it == nil && !d.cfg.Range.DisableIntern {
+		it = vrange.NewInterner()
+		d.interners[scc] = it
+	}
 	for _, fi := range d.sccFuncs[scc] {
 		if d.poisoned[fi] {
 			continue // quarantined: degraded result is already a fixpoint
@@ -453,7 +476,7 @@ func (d *driver) runSCC(wi, scc int) {
 			d.cancelled.Store(true)
 			break
 		}
-		calc := vrange.NewCalc(d.cfg.Range)
+		calc := vrange.NewCalcWith(d.cfg.Range, it)
 		in := d.computeInputs(fi, calc)
 		if !d.cfg.noSkip && d.results[fi] != nil && d.prevIn[fi] != nil &&
 			in.hash == d.prevFP[fi] && bitEqualVec(in.vec, d.prevIn[fi]) {
@@ -483,6 +506,7 @@ func (d *driver) runSCC(wi, scc int) {
 				rm.Steps = eng.steps
 			}
 			rm.AddWidens(calc.Widens)
+			rm.AddLattice(calc.InternHits, calc.InternMisses, calc.MemoHits, calc.MemoMisses)
 			d.rec.EndRun(fi, d.pass, wi, rm, t0, outcome)
 		}
 		if panicked != nil {
@@ -541,6 +565,7 @@ func (d *driver) runSCC(wi, scc int) {
 		local.failedDerives += eng.stats.FailedDerives
 		local.subOps += calc.SubOps
 		endRun("ok")
+		eng.recycle()
 	}
 	d.stats.addAtomic(&local)
 	if changed {
@@ -560,7 +585,12 @@ func (d *driver) runEngine(fi int, calc *vrange.Calc, in *funcInputs, rm *teleme
 		}
 	}()
 	run := func() {
-		eng = newEngine(d.ctx, d.cg.Funcs[fi], d.cfg, calc, d.prog, in, rm)
+		sc := d.scratch[fi]
+		if sc == nil {
+			sc = newEngineScratch(d.cg.Funcs[fi])
+			d.scratch[fi] = sc
+		}
+		eng = newEngine(d.ctx, d.cg.Funcs[fi], d.cfg, calc, d.prog, in, rm, sc)
 		eng.run()
 	}
 	if rm != nil {
@@ -627,11 +657,7 @@ func (d *driver) computeInputs(fi int, calc *vrange.Calc) *funcInputs {
 			in.vec = append(in.vec, rv)
 		}
 	}
-	h := vrange.NewHasher()
-	for _, v := range in.vec {
-		h.Add(v)
-	}
-	in.hash = h.Sum()
+	in.hash = vrange.HashValues(in.vec)
 	return in
 }
 

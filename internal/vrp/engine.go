@@ -49,12 +49,16 @@ type engine struct {
 	blkFreq  []float64      // per block ID
 	visited  []bool         // per block ID
 
-	evalCount     map[*ir.Instr]int // structural changes (widening budget)
-	probCount     map[*ir.Instr]int // probability-only changes (churn budget)
-	brUpdates     map[*ir.Instr]int // accepted branch probability updates
-	derived       map[*ir.Instr]bool
-	derivedStrict map[*ir.Instr]bool // constraint-derived with all-nonzero increments
-	deriveFailed  map[*ir.Instr]bool
+	// Per-instruction counters and marks, indexed by Instr.Idx (dense,
+	// assigned by BuildDefUse) — flat arrays instead of maps, so the
+	// membership tests and budget bumps on the propagation hot path never
+	// hash or allocate.
+	evalCount     []int // structural changes (widening budget)
+	probCount     []int // probability-only changes (churn budget)
+	brUpdates     []int // accepted branch probability updates
+	derived       []bool
+	derivedStrict []bool // constraint-derived with all-nonzero increments
+	deriveFailed  []bool
 	deriveDeps    map[ir.Reg][]*ir.Instr // value → derived φs consulting it
 
 	branchP   map[*ir.Instr]float64
@@ -63,17 +67,126 @@ type engine struct {
 	// Worklists are FIFO queues (head index + slice): breadth-first
 	// draining lets the frequency updates of one loop traversal coalesce
 	// instead of rippling depth-first through every pending edge.
+	// Membership bitsets are indexed by Edge.ID and Instr.Idx.
 	flowWL   []*ir.Edge
 	flowHead int
-	inFlow   map[*ir.Edge]bool
+	inFlow   []bool
 	ssaWL    []*ir.Instr
 	ssaHead  int
-	inSSA    map[*ir.Instr]bool
+	inSSA    []bool
+
+	// evalPhi scratch, reused across φ evaluations.
+	phiOps   []phiOp
+	phiItems []vrange.Weighted
+
+	// sc is the recycled allocation pool this run borrowed its working
+	// arrays from; solver and probFn re-solve frequencies without
+	// per-solve allocations.
+	sc     *engineScratch
+	solver *freq.Solver
+	probFn freq.BranchProbFunc
 
 	stats Stats
 }
 
-func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs, tm *telemetry.RunMetrics) *engine {
+// phiOp is one executable φ in-edge: the operand register and edge weight.
+type phiOp struct {
+	reg ir.Reg
+	w   float64
+}
+
+// engineScratch holds the per-function allocations that survive across
+// engine runs: the dominator structures (the CFG never changes during an
+// analysis) and the recycled working arrays. The driver keeps one per
+// function under the same ownership discipline as the per-SCC interners —
+// a function is analyzed by exactly one task per wave and re-runs are
+// ordered by the wave barriers, so reuse is race-free. Arrays that escape
+// into the FuncResult (val, edgeFreq, branchP, branchSrc) are NOT here:
+// they are allocated fresh per run. A function that degrades (panic or
+// step budget) is quarantined and never re-runs, so a half-mutated
+// scratch is never observed.
+type engineScratch struct {
+	tree      *dom.Tree
+	loops     *dom.LoopInfo
+	backEdges map[*ir.Edge]bool
+	solver    *freq.Solver
+
+	blkFreq       []float64
+	visited       []bool
+	evalCount     []int
+	probCount     []int
+	brUpdates     []int
+	derived       []bool
+	derivedStrict []bool
+	deriveFailed  []bool
+	deriveDeps    map[ir.Reg][]*ir.Instr
+	inFlow        []bool
+	inSSA         []bool
+	flowWL        []*ir.Edge
+	ssaWL         []*ir.Instr
+	phiOps        []phiOp
+	phiItems      []vrange.Weighted
+
+	// Derivation scratch: the walker (with its own recycled stacks) and
+	// the init-operand slices of engine.derive.
+	dw      walker
+	dvItems []vrange.Weighted
+	dvRegs  []ir.Reg
+	dvBack  []ir.Reg
+}
+
+func newEngineScratch(f *ir.Func) *engineScratch {
+	n := f.NumInstrs()
+	tree := dom.New(f)
+	loops := dom.FindLoops(f, tree)
+	back := dom.BackEdges(f, tree)
+	return &engineScratch{
+		tree:          tree,
+		loops:         loops,
+		backEdges:     back,
+		solver:        freq.NewSolver(f, tree, loops, back),
+		blkFreq:       make([]float64, len(f.Blocks)),
+		visited:       make([]bool, len(f.Blocks)),
+		evalCount:     make([]int, n),
+		probCount:     make([]int, n),
+		brUpdates:     make([]int, n),
+		derived:       make([]bool, n),
+		derivedStrict: make([]bool, n),
+		deriveFailed:  make([]bool, n),
+		deriveDeps:    map[ir.Reg][]*ir.Instr{},
+		inFlow:        make([]bool, len(f.Edges)),
+		inSSA:         make([]bool, n),
+		dw:            walker{onPath: make([]bool, f.NumRegs)},
+	}
+}
+
+// reset zeroes every borrowed array so a fresh run starts from the same
+// state a fresh allocation would.
+func (sc *engineScratch) reset() {
+	clear(sc.blkFreq)
+	clear(sc.visited)
+	clear(sc.evalCount)
+	clear(sc.probCount)
+	clear(sc.brUpdates)
+	clear(sc.derived)
+	clear(sc.derivedStrict)
+	clear(sc.deriveFailed)
+	clear(sc.deriveDeps)
+	clear(sc.inFlow)
+	clear(sc.inSSA)
+	sc.flowWL = sc.flowWL[:0]
+	sc.ssaWL = sc.ssaWL[:0]
+	sc.phiOps = sc.phiOps[:0]
+	sc.phiItems = sc.phiItems[:0]
+	clear(sc.dw.onPath)
+}
+
+func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, prog *ir.Program, in *funcInputs, tm *telemetry.RunMetrics, sc *engineScratch) *engine {
+	if sc == nil {
+		sc = newEngineScratch(f)
+	} else {
+		sc.reset()
+	}
 	e := &engine{
 		f:             f,
 		cfg:           cfg,
@@ -84,27 +197,48 @@ func newEngine(ctx context.Context, f *ir.Func, cfg Config, calc *vrange.Calc, p
 		tm:            tm,
 		val:           make([]vrange.Value, f.NumRegs),
 		edgeFreq:      make([]float64, len(f.Edges)),
-		blkFreq:       make([]float64, len(f.Blocks)),
-		visited:       make([]bool, len(f.Blocks)),
-		evalCount:     map[*ir.Instr]int{},
-		probCount:     map[*ir.Instr]int{},
-		brUpdates:     map[*ir.Instr]int{},
-		derived:       map[*ir.Instr]bool{},
-		derivedStrict: map[*ir.Instr]bool{},
-		deriveFailed:  map[*ir.Instr]bool{},
-		deriveDeps:    map[ir.Reg][]*ir.Instr{},
+		blkFreq:       sc.blkFreq,
+		visited:       sc.visited,
+		evalCount:     sc.evalCount,
+		probCount:     sc.probCount,
+		brUpdates:     sc.brUpdates,
+		derived:       sc.derived,
+		derivedStrict: sc.derivedStrict,
+		deriveFailed:  sc.deriveFailed,
+		deriveDeps:    sc.deriveDeps,
 		branchP:       map[*ir.Instr]float64{},
 		branchSrc:     map[*ir.Instr]PredictionSource{},
-		inFlow:        map[*ir.Edge]bool{},
-		inSSA:         map[*ir.Instr]bool{},
+		inFlow:        sc.inFlow,
+		inSSA:         sc.inSSA,
+		flowWL:        sc.flowWL,
+		ssaWL:         sc.ssaWL,
+		phiOps:        sc.phiOps,
+		phiItems:      sc.phiItems,
+		sc:            sc,
+		solver:        sc.solver,
 	}
 	for i := range e.val {
 		e.val[i] = vrange.TopValue()
 	}
-	e.tree = dom.New(f)
-	e.loops = dom.FindLoops(f, e.tree)
-	e.backEdges = dom.BackEdges(f, e.tree)
+	e.tree = sc.tree
+	e.loops = sc.loops
+	e.backEdges = sc.backEdges
+	e.probFn = func(br *ir.Instr) (float64, bool) {
+		p, ok := e.branchP[br]
+		return p, ok
+	}
 	return e
+}
+
+// recycle hands the run's (possibly grown) worklist and scratch slices
+// back to the pool. Call after the run's results have been read; the
+// engine must not be used afterwards.
+func (e *engine) recycle() {
+	sc := e.sc
+	sc.flowWL = e.flowWL
+	sc.ssaWL = e.ssaWL
+	sc.phiOps = e.phiOps
+	sc.phiItems = e.phiItems
 }
 
 func (e *engine) prog() *ir.Program { return e.irProg }
@@ -125,37 +259,36 @@ func (e *engine) blockFreq(b *ir.Block) float64 {
 }
 
 // recomputeFreqs re-solves block/edge frequencies after a branch
-// probability change, scheduling every materially changed edge.
+// probability change, scheduling every materially changed edge. The
+// solver's result buffers are copied into the engine's own arrays
+// (edgeFreq escapes into the FuncResult; the solver buffers are reused by
+// the next solve).
 func (e *engine) recomputeFreqs() {
-	fr := freq.Compute(e.f, e.tree, e.loops, func(br *ir.Instr) (float64, bool) {
-		p, ok := e.branchP[br]
-		return p, ok
-	})
+	fr := e.solver.Compute(e.probFn)
 	for i, nv := range fr.Edge {
 		if nv > e.cfg.MaxFreq {
 			nv = e.cfg.MaxFreq
-			fr.Edge[i] = nv
 		}
 		old := e.edgeFreq[i]
 		if math.Abs(nv-old) > e.cfg.FreqEpsilon*math.Max(1, old) {
 			e.pushFlow(e.f.Edges[i])
 		}
+		e.edgeFreq[i] = nv
 	}
-	e.edgeFreq = fr.Edge
-	e.blkFreq = fr.Block
+	copy(e.blkFreq, fr.Block)
 }
 
 func (e *engine) pushFlow(ed *ir.Edge) {
-	if !e.inFlow[ed] {
-		e.inFlow[ed] = true
+	if !e.inFlow[ed.ID] {
+		e.inFlow[ed.ID] = true
 		e.flowWL = append(e.flowWL, ed)
 		e.tm.PushFlow(len(e.flowWL) - e.flowHead)
 	}
 }
 
 func (e *engine) pushSSA(in *ir.Instr) {
-	if !e.inSSA[in] {
-		e.inSSA[in] = true
+	if !e.inSSA[in.Idx] {
+		e.inSSA[in.Idx] = true
 		e.ssaWL = append(e.ssaWL, in)
 		e.tm.PushSSA(len(e.ssaWL) - e.ssaHead)
 	}
@@ -223,7 +356,7 @@ func (e *engine) run() {
 			ed := e.flowWL[e.flowHead]
 			e.flowWL[e.flowHead] = nil
 			e.flowHead++
-			delete(e.inFlow, ed)
+			e.inFlow[ed.ID] = false
 			if e.edgeFreq[ed.ID] > 0 {
 				e.visitBlock(ed.To) // step 3
 			}
@@ -233,7 +366,7 @@ func (e *engine) run() {
 		in := e.ssaWL[e.ssaHead]
 		e.ssaWL[e.ssaHead] = nil
 		e.ssaHead++
-		delete(e.inSSA, in)
+		e.inSSA[in.Idx] = false
 		e.processSSAItem(in) // steps 4–7
 		e.compactQueues()
 	}
@@ -280,8 +413,8 @@ func (e *engine) setValue(in *ir.Instr, nv vrange.Value) {
 		return
 	}
 	if !nv.SameShape(old) {
-		e.evalCount[in]++
-		if e.evalCount[in] > e.cfg.MaxEvals {
+		e.evalCount[in.Idx]++
+		if e.evalCount[in.Idx] > e.cfg.MaxEvals {
 			e.tm.Widen()
 			nv = vrange.BottomValue()
 			if nv.Equal(old) {
@@ -293,8 +426,8 @@ func (e *engine) setValue(in *ir.Instr, nv vrange.Value) {
 		// φ-weight feedback can oscillate without ever changing range
 		// structure; a generous churn budget lets genuine refinements
 		// settle and then freezes the value near its fixpoint.
-		e.probCount[in]++
-		if e.probCount[in] > probChurnBudget {
+		e.probCount[in.Idx]++
+		if e.probCount[in.Idx] > probChurnBudget {
 			e.val[in.Dst] = nv
 			return // keep the latest value, stop propagating the ripple
 		}
@@ -316,7 +449,7 @@ const (
 func (e *engine) symVal(r ir.Reg) vrange.Value {
 	v := e.val[r]
 	if v.IsBottom() && e.cfg.Range.Symbolic {
-		return vrange.Symbolic(e.rootOf(r))
+		return e.calc.SymbolicVal(e.rootOf(r))
 	}
 	return v
 }
@@ -406,7 +539,7 @@ func (e *engine) evalInstr(in *ir.Instr) {
 	var nv vrange.Value
 	switch in.Op {
 	case ir.OpConst:
-		nv = vrange.Const(in.Const)
+		nv = e.calc.ConstVal(in.Const)
 	case ir.OpParam:
 		nv = e.in.param(in.ArgIndex)
 	case ir.OpInput, ir.OpLoad, ir.OpAlloc:
@@ -429,15 +562,15 @@ func (e *engine) evalInstr(in *ir.Instr) {
 			// uniform-independence model would discard the correlation.
 			ra, rb := e.rootOf(in.A), e.rootOf(in.B)
 			if refersTo(a, rb) {
-				b = vrange.Symbolic(rb)
+				b = e.calc.SymbolicVal(rb)
 			} else if refersTo(b, ra) {
-				a = vrange.Symbolic(ra)
+				a = e.calc.SymbolicVal(ra)
 			}
 		}
 		nv = e.calc.Apply(in.BinOp, a, b)
 	case ir.OpAssert:
 		e.tm.Assert()
-		other := vrange.Const(in.Const)
+		other := e.calc.ConstVal(in.Const)
 		if in.B != ir.None {
 			other = e.symVal(in.B)
 		}
@@ -469,14 +602,14 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 			break
 		}
 	}
-	if hasBack && e.cfg.Derivation && !e.deriveFailed[phi] {
+	if hasBack && e.cfg.Derivation && !e.deriveFailed[phi.Idx] {
 		v, st := e.derive(phi)
 		switch st {
 		case deriveOK:
-			if !e.derived[phi] {
+			if !e.derived[phi.Idx] {
 				e.stats.DerivedLoops++
 			}
-			e.derived[phi] = true
+			e.derived[phi.Idx] = true
 			e.setValue(phi, v)
 			return
 		case deriveNotReady:
@@ -487,35 +620,32 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 			// lower.
 		case deriveFail:
 			e.stats.FailedDerives++
-			e.deriveFailed[phi] = true
+			e.deriveFailed[phi.Idx] = true
 			// A φ may have derived earlier under transient information
 			// (e.g. an increment operand that was still a lone constant)
 			// and fail to re-derive once the operand lowers. Clearing the
 			// derived mark hands the φ back to merge-based evaluation —
 			// leaving it would freeze a stale optimistic value.
-			e.derived[phi] = false
-			e.derivedStrict[phi] = false
+			e.derived[phi.Idx] = false
+			e.derivedStrict[phi.Idx] = false
 		}
 	}
-	if e.derived[phi] {
+	if e.derived[phi.Idx] {
 		// Derived expressions are not re-evaluated by merging (§3.3 step
 		// 4); value updates happen through re-derivation above.
 		return
 	}
 
 	// Step 5: executable in-edges only.
-	type op struct {
-		reg ir.Reg
-		w   float64
-	}
-	var ops []op
+	ops := e.phiOps[:0]
 	for i, pe := range b.Preds {
 		w := e.edgeFreq[pe.ID]
 		if w <= 0 {
 			continue
 		}
-		ops = append(ops, op{phi.Args[i], w})
+		ops = append(ops, phiOp{phi.Args[i], w})
 	}
+	e.phiOps = ops
 	if len(ops) == 0 {
 		return // not yet executable: stays ⊤
 	}
@@ -537,10 +667,11 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 	}
 
 	e.tm.PhiMerge()
-	items := make([]vrange.Weighted, len(ops))
-	for i, o := range ops {
-		items[i] = vrange.Weighted{Val: e.val[o.reg], W: o.w}
+	items := e.phiItems[:0]
+	for _, o := range ops {
+		items = append(items, vrange.Weighted{Val: e.val[o.reg], W: o.w})
 	}
+	e.phiItems = items
 	e.setValue(phi, e.calc.Merge(items))
 }
 
@@ -587,11 +718,11 @@ func (e *engine) updateOutEdges(b *ir.Block) {
 	if had && math.Abs(old-p) <= 1e-9 {
 		return
 	}
-	if e.brUpdates[t] > branchUpdateBudget {
+	if e.brUpdates[t.Idx] > branchUpdateBudget {
 		e.branchP[t] = p // keep the freshest value, stop re-solving
 		return
 	}
-	e.brUpdates[t]++
+	e.brUpdates[t.Idx]++
 	e.branchP[t] = p
 	e.recomputeFreqs()
 }
@@ -641,13 +772,21 @@ func (e *engine) finalize() {
 }
 
 func (e *engine) result() *FuncResult {
+	derived := make(map[*ir.Instr]bool)
+	for _, b := range e.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi && e.derived[in.Idx] {
+				derived[in] = true
+			}
+		}
+	}
 	fr := &FuncResult{
 		Fn:           e.f,
 		Val:          e.val,
 		EdgeFreq:     e.edgeFreq,
 		BranchProb:   e.branchP,
 		BranchSource: e.branchSrc,
-		Derived:      e.derived,
+		Derived:      derived,
 	}
 	return fr
 }

@@ -34,6 +34,7 @@ func mustCompile(b *testing.B, src string) *ir.Program {
 // paper's worked example.
 func BenchmarkAnalyzePaperExample(b *testing.B) {
 	p := mustCompile(b, paperExample)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Analyze(p, DefaultConfig()); err != nil {
@@ -59,6 +60,7 @@ func main() {
 	print(kernel(50, 20));
 	print(kernel(10, 100));
 }`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Analyze(p, DefaultConfig()); err != nil {
@@ -97,6 +99,7 @@ func kernel%d(n, m) {
 		b.Run(name, func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.Workers = workers
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Analyze(p, cfg); err != nil {
@@ -125,6 +128,7 @@ func main() {
 			p := mustCompile(b, src)
 			cfg := DefaultConfig()
 			cfg.Derivation = derive
+			b.ReportAllocs()
 			b.ResetTimer()
 			var evals int64
 			for i := 0; i < b.N; i++ {
@@ -135,6 +139,49 @@ func main() {
 				evals = res.Stats.ExprEvals + res.Stats.PhiEvals
 			}
 			b.ReportMetric(float64(evals), "evals")
+		})
+	}
+}
+
+// BenchmarkAnalyzeAllocs measures the heap cost of one analysis of a
+// loop-and-call heavy program with the interning layer on (default) and
+// off (DisableIntern); the two runs produce bit-identical results, so the
+// allocs/op delta is pure interning payoff.
+func BenchmarkAnalyzeAllocs(b *testing.B) {
+	src := ""
+	call := ""
+	for i := 0; i < 8; i++ {
+		src += fmt.Sprintf(`
+func kernel%d(n, m) {
+	var s = 0;
+	for (var i = 0; i < n; i++) {
+		for (var j = 0; j < m; j++) {
+			if ((i + j) %% 2 == 0) { s += i; } else { s -= j; }
+		}
+	}
+	return s;
+}`, i)
+		call += fmt.Sprintf("\tprint(kernel%d(%d, %d));\n", i, 40+i, 10+i)
+	}
+	src += "\nfunc main() {\n" + call + "}\n"
+	p := mustCompile(b, src)
+	for _, disable := range []bool{false, true} {
+		name := "intern"
+		if disable {
+			name = "nointern"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = 1
+			cfg.Range.DisableIntern = disable
+			b.ReportAllocs()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -37,6 +37,21 @@ type interproc struct {
 	// by sanitize — the telemetry layer's measure of interprocedural
 	// precision loss. Atomic because concurrent wave tasks fold results.
 	drops atomic.Int64
+
+	// Recursion widening (Config.RecWidenAfter): per-slot move counters
+	// and pin flags for return ranges and same-SCC argument positions.
+	// The race discipline matches args/retVals — retMoves[fi] and
+	// retPinned[fi] are touched only by fi's own task, argMoves[ci][pos]
+	// and argPinned[ci][pos] only by the task of caller Callers[ci][pos]
+	// — so distinct slice elements remain the only shared memory.
+	recWidenAfter int
+	assumedMag    int64
+	recursive     []bool  // function index → member of a cyclic SCC
+	retMoves      []int   // function index → passes the return range moved
+	retPinned     []bool  // function index → return range widened
+	argMoves      [][]int // [callee][caller pos] → passes the slot moved
+	argPinned     [][]bool
+	recWidens     atomic.Int64 // slots pinned; Stats.RecWidens
 }
 
 type callerArgs struct {
@@ -53,8 +68,21 @@ func newInterproc(p *ir.Program, cfg Config, cg *callgraph.Graph) *interproc {
 		args:    make([][]*callerArgs, n),
 		retVals: make([]vrange.Value, n),
 	}
+	ip.recWidenAfter = cfg.RecWidenAfter
+	ip.assumedMag = cfg.Range.AssumedVarValue
+	if ip.assumedMag <= 0 {
+		ip.assumedMag = 10
+	}
+	ip.recursive = make([]bool, n)
+	ip.retMoves = make([]int, n)
+	ip.retPinned = make([]bool, n)
+	ip.argMoves = make([][]int, n)
+	ip.argPinned = make([][]bool, n)
 	for i := 0; i < n; i++ {
 		ip.args[i] = make([]*callerArgs, len(cg.Callers[i]))
+		ip.recursive[i] = cg.Recursive(cg.SCCID[i])
+		ip.argMoves[i] = make([]int, len(cg.Callers[i]))
+		ip.argPinned[i] = make([]bool, len(cg.Callers[i]))
 		if cfg.Interprocedural {
 			ip.retVals[i] = vrange.TopValue()
 		} else {
@@ -62,6 +90,113 @@ func newInterproc(p *ir.Program, cfg Config, cg *callgraph.Graph) *interproc {
 		}
 	}
 	return ip
+}
+
+// numericHull returns the [lo, hi] envelope of a purely numeric set.
+// ok is false for ⊤, ⊥, empty sets and sets with symbolic bounds.
+func numericHull(v vrange.Value) (lo, hi int64, ok bool) {
+	if v.Kind() != vrange.Set || len(v.Ranges) == 0 {
+		return 0, 0, false
+	}
+	for i, r := range v.Ranges {
+		if !r.Lo.IsNum() || !r.Hi.IsNum() {
+			return 0, 0, false
+		}
+		if i == 0 || r.Lo.Const < lo {
+			lo = r.Lo.Const
+		}
+		if i == 0 || r.Hi.Const > hi {
+			hi = r.Hi.Const
+		}
+	}
+	return lo, hi, true
+}
+
+// hullRange builds the single-range probability-1 value [lo:hi].
+func hullRange(lo, hi int64) vrange.Value {
+	stride := int64(1)
+	if lo == hi {
+		stride = 0
+	}
+	return vrange.FromRanges(vrange.Range{Prob: 1, Lo: vrange.Num(lo), Hi: vrange.Num(hi), Stride: stride})
+}
+
+// clampMag widens a numeric set to its single hull range clamped into
+// [-assumedMag, assumedMag] with probability 1. Non-numeric or non-Set
+// values pass through untouched; update only feeds it sanitize output,
+// which is numeric.
+func (ip *interproc) clampMag(v vrange.Value) vrange.Value {
+	lo, hi, ok := numericHull(v)
+	if !ok {
+		return v
+	}
+	m := ip.assumedMag
+	return hullRange(min64(max64(lo, -m), m), min64(max64(hi, -m), m))
+}
+
+// widenPinned folds a freshly computed value into a pinned slot holding
+// prev. This is classic interval widening over the clamped hulls: a bound
+// that moved outward since prev jumps straight to ±assumedMag, a bound at
+// rest (or moving inward) keeps its previous position. The stored hull
+// therefore only ever grows, inside the finite ladder
+// {prev bound, ±assumedMag} — at most two more moves after the pin — which
+// is the termination guarantee for recursive fixpoints whose exact
+// descending chain (e.g. ackermann's argument ranges growing one value
+// per pass) would outlast MaxPasses.
+func (ip *interproc) widenPinned(prev, cur vrange.Value) vrange.Value {
+	cc := ip.clampMag(cur)
+	pl, ph, ok := numericHull(prev)
+	if !ok {
+		return cc
+	}
+	cl, ch, ok := numericHull(cc)
+	if !ok {
+		return cc
+	}
+	lo, hi := pl, ph
+	if cl < pl {
+		lo = -ip.assumedMag
+	}
+	if ch > ph {
+		hi = ip.assumedMag
+	}
+	return hullRange(lo, hi)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// maybeWidenRet applies recursion widening to a freshly merged return
+// range of function fi. A return range still moving after recWidenAfter
+// passes is pinned; from then on every merge result is clamped.
+func (ip *interproc) maybeWidenRet(fi int, v vrange.Value) vrange.Value {
+	if ip.recWidenAfter <= 0 || !ip.recursive[fi] {
+		return v
+	}
+	if ip.retPinned[fi] {
+		return ip.widenPinned(ip.retVals[fi], v)
+	}
+	if v.Equal(ip.retVals[fi]) {
+		return v // not a move
+	}
+	ip.retMoves[fi]++
+	if ip.retMoves[fi] >= ip.recWidenAfter {
+		ip.retPinned[fi] = true
+		ip.recWidens.Add(1)
+		return ip.widenPinned(ip.retVals[fi], v)
+	}
+	return v
 }
 
 // callerPos locates caller fi in the sorted caller list of callee ci.
@@ -153,7 +288,7 @@ func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Bloc
 		}
 		items = append(items, vrange.Weighted{Val: ip.sanitize(vals[t.A]), W: w})
 	}
-	newRet := calc.Merge(items)
+	newRet := ip.maybeWidenRet(fi, calc.Merge(items))
 	if !newRet.Equal(ip.retVals[fi]) {
 		ip.retVals[fi] = newRet
 		changed = true
@@ -212,6 +347,45 @@ func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Bloc
 			continue // cannot happen: fi has a static call to ci
 		}
 		prev := ip.args[ci][pos]
+		// Recursion widening on same-SCC call edges: an argument slot
+		// still moving after recWidenAfter passes is pinned and its
+		// values widened over the clamped hulls, cutting the cycle that
+		// keeps recursive argument ranges (e.g. ackermann's) shifting
+		// forever.
+		if ip.recWidenAfter > 0 && ip.cg.SCCID[ci] == ip.cg.SCCID[fi] {
+			if ip.argPinned[ci][pos] {
+				for i := range ca.vals {
+					if prev != nil && i < len(prev.vals) {
+						ca.vals[i] = ip.widenPinned(prev.vals[i], ca.vals[i])
+					} else {
+						ca.vals[i] = ip.clampMag(ca.vals[i])
+					}
+				}
+				// Freeze the weight too: frequencies on a recursive
+				// cycle edge feed back into themselves (probabilities →
+				// block frequencies → merge weights → probabilities)
+				// and can orbit forever even with the values pinned.
+				// Keeping the pin-time weight makes the pinned slot a
+				// true fixed point at the cost of frequency precision
+				// on that one edge.
+				if prev != nil {
+					ca.w = prev.w
+				}
+			} else if prev != nil && !sameArgs(prev, ca) {
+				ip.argMoves[ci][pos]++
+				if ip.argMoves[ci][pos] >= ip.recWidenAfter {
+					ip.argPinned[ci][pos] = true
+					ip.recWidens.Add(1)
+					for i := range ca.vals {
+						if i < len(prev.vals) {
+							ca.vals[i] = ip.widenPinned(prev.vals[i], ca.vals[i])
+						} else {
+							ca.vals[i] = ip.clampMag(ca.vals[i])
+						}
+					}
+				}
+			}
+		}
 		if prev == nil || !sameArgs(prev, ca) {
 			ip.args[ci][pos] = ca
 			changed = true

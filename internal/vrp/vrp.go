@@ -45,6 +45,16 @@ type Config struct {
 	// MaxPasses bounds the outer interprocedural fixpoint.
 	MaxPasses int
 
+	// RecWidenAfter enables return/argument widening on recursive call
+	// graph cycles: a return range or same-SCC argument slot that is
+	// still moving after this many interprocedural passes is pinned, and
+	// every subsequent value for it is widened to a single hull range
+	// clamped into ±Range.AssumedVarValue. This trades the tail of the
+	// descending chain for a guaranteed fixpoint on recursions (such as
+	// ackermann) whose argument ranges would otherwise keep shifting
+	// until MaxPasses gives up. 0 (the default) disables widening.
+	RecWidenAfter int
+
 	// MaxEvals is the per-instruction evaluation budget before the engine
 	// widens the result to ⊥ — the practical give-up point that keeps
 	// brute-force loop execution from dominating runtime.
@@ -142,6 +152,11 @@ type Stats struct {
 	// MaxEngineSteps and whose results were replaced by the ⊥/heuristic
 	// fallback.
 	FuncsDegraded int64
+
+	// RecWidens counts the interprocedural slots (return ranges and
+	// same-SCC argument positions) pinned by recursion widening
+	// (Config.RecWidenAfter). Zero when the feature is off.
+	RecWidens int64
 }
 
 // PredictionSource says how a branch probability was obtained.

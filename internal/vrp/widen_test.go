@@ -1,0 +1,86 @@
+package vrp
+
+import (
+	"testing"
+
+	"vrp/internal/corpus"
+	"vrp/internal/ir"
+)
+
+func ackermannProg(t *testing.T) *ir.Program {
+	t.Helper()
+	for _, cp := range corpus.All() {
+		if cp.Name == "ackermann" {
+			return compileSrc(t, cp.Name, cp.Source)
+		}
+	}
+	t.Fatal("ackermann program missing from corpus")
+	return nil
+}
+
+// TestRecursionWideningConverges: with RecWidenAfter set, the ackermann
+// self-recursion must reach a true interprocedural fixpoint within
+// MaxPasses (instead of the ⊤→⊥ non-convergence demotion), and the
+// widening must actually fire.
+func TestRecursionWideningConverges(t *testing.T) {
+	prog := ackermannProg(t)
+
+	base := DefaultConfig()
+	base.Workers = 1
+	res, err := Analyze(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RecWidens != 0 {
+		t.Errorf("widening fired with RecWidenAfter=0: RecWidens=%d", res.Stats.RecWidens)
+	}
+	baseConverged := res.Stats.Converged
+
+	wcfg := DefaultConfig()
+	wcfg.Workers = 1
+	wcfg.RecWidenAfter = 3
+	wres, err := Analyze(prog, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wres.Stats.Converged {
+		t.Errorf("RecWidenAfter=3: fixpoint did not converge in %d passes (baseline converged=%v)",
+			wcfg.MaxPasses, baseConverged)
+	}
+	if wres.Stats.RecWidens == 0 {
+		t.Error("RecWidenAfter=3: no slot was pinned on a recursive SCC")
+	}
+	for _, d := range wres.Diagnostics {
+		if d.Kind == DiagNonConvergence {
+			t.Errorf("unexpected non-convergence diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestRecursionWideningDeterministic: widening decisions live on the
+// interprocedural tables, which are shared across worker tasks — the
+// pin/clamp schedule must not depend on the worker count.
+func TestRecursionWideningDeterministic(t *testing.T) {
+	for _, cp := range corpus.All() {
+		prog := compileSrc(t, cp.Name, cp.Source)
+		seqCfg := DefaultConfig()
+		seqCfg.Workers = 1
+		seqCfg.RecWidenAfter = 2
+		parCfg := DefaultConfig()
+		parCfg.Workers = 8
+		parCfg.RecWidenAfter = 2
+		seq, err := Analyze(prog, seqCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cp.Name, err)
+		}
+		par, err := Analyze(prog, parCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cp.Name, err)
+		}
+		branchesEqual(t, cp.Name, seq.Branches(), par.Branches())
+		if seq.Stats != par.Stats {
+			t.Errorf("%s: stats differ across worker counts:\nseq %+v\npar %+v",
+				cp.Name, seq.Stats, par.Stats)
+		}
+	}
+}

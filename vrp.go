@@ -139,6 +139,16 @@ func WithAssumedMagnitude(t int64) Option {
 	return func(c *corevrp.Config) { c.Range.AssumedVarValue = t }
 }
 
+// WithRecursionWidening enables return/argument widening on recursive
+// call-graph cycles: an interprocedural slot still moving after k passes
+// is pinned to a hull range clamped into ±AssumedVarValue, guaranteeing
+// that deep recursions (ackermann and friends) reach a true fixpoint
+// instead of exhausting MaxPasses. k <= 0 disables widening (the
+// default).
+func WithRecursionWidening(k int) Option {
+	return func(c *corevrp.Config) { c.RecWidenAfter = k }
+}
+
 // WithWorkers bounds the number of per-function engines the analysis
 // driver runs concurrently within one call-graph wave: 0 (the default)
 // picks one per available CPU, 1 forces the fully sequential schedule.
