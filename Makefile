@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet race fmt check bench
+.PHONY: build test vet race fmt check bench accuracy serve
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,11 @@ check: fmt vet race
 # Machine-readable driver benchmark: writes BENCH_driver.json.
 bench:
 	$(GO) run ./cmd/vrpbench -bench
+
+# Per-predictor miss rates and errors: writes BENCH_accuracy.json.
+accuracy:
+	$(GO) run ./cmd/vrpbench -accuracy
+
+# Run the analysis server (README "Running the server").
+serve:
+	$(GO) run ./cmd/vrpd

@@ -13,6 +13,7 @@
 //	vrpbench -apps      §6 applications
 //	vrpbench -ablations DESIGN.md §5 ablation table
 //	vrpbench -bench     machine-readable driver benchmark (BENCH_driver.json)
+//	vrpbench -accuracy  per-predictor miss rates and errors (BENCH_accuracy.json)
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		benchIter  = flag.Int("benchiter", 5, "timing iterations per -bench point")
 		latticeRun = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
 		latticeOut = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
+		accuracy   = flag.Bool("accuracy", false, "score every predictor's miss rate and mean error, emit JSON")
+		accOut     = flag.String("accuracyout", "BENCH_accuracy.json", "output path for -accuracy")
 		quick      = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
@@ -57,6 +60,8 @@ func main() {
 			sizes, iters = bench.QuickSizes, 1
 		}
 		err = runLatticeBench(w, *latticeOut, sizes, iters)
+	case *accuracy:
+		err = runAccuracy(w, *accOut)
 	case *summary:
 		err = bench.PrintSummary(w)
 		if err == nil {
@@ -176,6 +181,27 @@ func runLatticeBench(w *os.File, outPath string, sizes []int, iters int) error {
 			p.Name, p.Instrs, p.OnNsOp, p.OffNsOp, p.OnAllocsOp, p.OffAllocsOp,
 			100*p.AllocReduction, p.OnBytesOp, p.OffBytesOp, p.InternHits, p.MemoHits)
 	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+// runAccuracy emits BENCH_accuracy.json (schema in EXPERIMENTS.md):
+// per-suite, per-predictor taken/not-taken miss rates and mean absolute
+// probability errors, so prediction *quality* is a tracked artifact
+// like driver and lattice perf.
+func runAccuracy(w *os.File, outPath string) error {
+	rep, err := bench.Accuracy()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	bench.PrintAccuracy(w, rep)
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	return nil
 }

@@ -1,0 +1,85 @@
+// Command vrpd serves value range propagation over HTTP with
+// production-style observability: Prometheus-format metrics, structured
+// request logs, health/readiness endpoints, pprof, bounded in-flight
+// load shedding, a fingerprint-keyed result cache, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	vrpd [flags]
+//
+// Flags:
+//
+//	-addr :8344            listen address
+//	-max-inflight 16       concurrent analyses before shedding with 429
+//	-max-source-bytes N    request body cap (default 1 MiB)
+//	-cache N               result-cache entries (0 disables)
+//	-timeout D             per-analysis timeout (0 = none)
+//	-workers N             per-analysis engine parallelism (0 = one per CPU)
+//	-drain D               shutdown drain budget (default 10s)
+//	-log text|json         request log format (default json)
+//
+// Endpoints: POST /v1/analyze (Mini source → predictions JSON;
+// ?explain=func:line, ?telemetry=1), GET /metrics, /healthz, /readyz,
+// /debug/pprof. See README "Running the server".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vrp/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8344", "listen address")
+		inflight  = flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent analyses before 429 shedding")
+		maxSource = flag.Int64("max-source-bytes", server.DefaultMaxSourceBytes, "request body size cap in bytes")
+		cacheSize = flag.Int("cache", server.DefaultCacheEntries, "result cache entries (0 disables caching)")
+		timeout   = flag.Duration("timeout", 0, "per-analysis timeout (0 = none)")
+		workers   = flag.Int("workers", 0, "per-analysis engine workers (0 = one per CPU)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		logFormat = flag.String("log", "json", "request log format: json or text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "vrpd: unknown -log format %q (want json or text)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	cacheEntries := *cacheSize
+	if cacheEntries == 0 {
+		cacheEntries = -1 // Config: 0 means default, negative disables
+	}
+	srv := server.New(server.Config{
+		MaxInFlight:    *inflight,
+		MaxSourceBytes: *maxSource,
+		CacheEntries:   cacheEntries,
+		AnalyzeTimeout: *timeout,
+		Workers:        *workers,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
+		logger.Error("vrpd exiting", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("vrpd stopped cleanly")
+}

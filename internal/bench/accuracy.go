@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vrp/internal/corpus"
+)
+
+// Prediction accuracy as a tracked artifact (BENCH_accuracy.json): the
+// taken/not-taken miss rate and the mean absolute probability error of
+// every predictor, per suite. Driver perf (BENCH_driver.json) and
+// lattice perf (BENCH_lattice.json) already catch speed regressions;
+// this file catches *quality* regressions — a change that silently
+// degrades VRP's predictions shows up as a miss-rate diff in CI
+// artifacts even when every test still passes.
+
+// PredictorAccuracy scores one predictor over one suite.
+type PredictorAccuracy struct {
+	// HitRatePct is the dynamic taken/not-taken hit rate in percent
+	// (program-equal weighting, execution-count weighting within a
+	// program), the coarse metric of the prior studies the paper
+	// compares against.
+	HitRatePct float64 `json:"hit_rate_pct"`
+	// MissRatePct is 100 - HitRatePct: the headline "lower is better"
+	// number.
+	MissRatePct float64 `json:"miss_rate_pct"`
+	// MeanAbsErrPct is the predictor's mean absolute probability error
+	// in percentage points, branch-equal weighting (the paper's
+	// unweighted error distributions, collapsed to a scalar).
+	MeanAbsErrPct float64 `json:"mean_abs_err_pct"`
+	// WeightedMeanAbsErrPct weights each branch by its dynamic
+	// execution count (the paper's weighted distributions).
+	WeightedMeanAbsErrPct float64 `json:"weighted_mean_abs_err_pct"`
+}
+
+// SuiteAccuracy is one suite's full accuracy table.
+type SuiteAccuracy struct {
+	Suite      string                       `json:"suite"`
+	Programs   int                          `json:"programs"`
+	Branches   int                          `json:"branches"`
+	Predictors map[string]PredictorAccuracy `json:"predictors"`
+}
+
+// AccuracyReport is the machine-readable content of
+// BENCH_accuracy.json (schema documented in EXPERIMENTS.md).
+type AccuracyReport struct {
+	Suites []SuiteAccuracy `json:"suites"`
+}
+
+// SuiteAccuracyFrom scores already-evaluated programs. Split out from
+// the corpus walk so tests can feed synthetic evals.
+func SuiteAccuracyFrom(name string, evals []*ProgramEval) SuiteAccuracy {
+	sa := SuiteAccuracy{
+		Suite:      name,
+		Programs:   len(evals),
+		Predictors: map[string]PredictorAccuracy{},
+	}
+	for _, ev := range evals {
+		sa.Branches += len(ev.Records)
+	}
+	hits := HitRates(evals)
+	unweighted := MeanError(evals, false)
+	weighted := MeanError(evals, true)
+	for _, pred := range Predictors() {
+		hr, ok := hits[pred]
+		if !ok {
+			continue
+		}
+		sa.Predictors[pred] = PredictorAccuracy{
+			HitRatePct:            hr,
+			MissRatePct:           100 - hr,
+			MeanAbsErrPct:         unweighted[pred],
+			WeightedMeanAbsErrPct: weighted[pred],
+		}
+	}
+	return sa
+}
+
+// Accuracy evaluates both corpus suites and assembles the report.
+func Accuracy() (*AccuracyReport, error) {
+	rep := &AccuracyReport{}
+	for _, s := range []corpus.Suite{corpus.IntSuite, corpus.FPSuite} {
+		evals, err := EvalSuite(s)
+		if err != nil {
+			return nil, err
+		}
+		rep.Suites = append(rep.Suites, SuiteAccuracyFrom(s.String(), evals))
+	}
+	return rep, nil
+}
+
+// PrintAccuracy renders the report as the human-readable companion of
+// the JSON artifact.
+func PrintAccuracy(w io.Writer, rep *AccuracyReport) {
+	fmt.Fprintln(w, "Prediction accuracy per predictor (miss rate and mean abs probability error):")
+	for _, sa := range rep.Suites {
+		fmt.Fprintf(w, "  suite %-4s (%d programs, %d branches)\n", sa.Suite, sa.Programs, sa.Branches)
+		fmt.Fprintf(w, "    %-12s %8s %8s %10s %12s\n", "predictor", "hit%", "miss%", "abs-err", "w-abs-err")
+		for _, pred := range Predictors() {
+			pa, ok := sa.Predictors[pred]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "    %-12s %7.1f%% %7.1f%% %9.1fpp %11.1fpp\n",
+				pred, pa.HitRatePct, pa.MissRatePct, pa.MeanAbsErrPct, pa.WeightedMeanAbsErrPct)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func synthEvals() []*ProgramEval {
+	return []*ProgramEval{{
+		Name: "p",
+		Records: []BranchRecord{
+			// VRP predicts taken (0.9), actually taken 80% of 100 execs;
+			// profile is oracle-exact.
+			{Actual: 0.8, Weight: 100, Pred: map[string]float64{PredVRP: 0.9, PredProfile: 0.8}},
+			// VRP predicts not-taken (0.2), actually taken 10% of 300
+			// execs: hit fraction 0.9.
+			{Actual: 0.1, Weight: 300, Pred: map[string]float64{PredVRP: 0.2, PredProfile: 0.1}},
+		},
+	}}
+}
+
+func TestSuiteAccuracyFromMath(t *testing.T) {
+	sa := SuiteAccuracyFrom("int", synthEvals())
+	if sa.Suite != "int" || sa.Programs != 1 || sa.Branches != 2 {
+		t.Fatalf("header = %+v", sa)
+	}
+
+	vrp, ok := sa.Predictors[PredVRP]
+	if !ok {
+		t.Fatal("missing vrp predictor")
+	}
+	wantHit := 100 * (100*0.8 + 300*0.9) / 400
+	if math.Abs(vrp.HitRatePct-wantHit) > 1e-9 {
+		t.Errorf("vrp hit rate = %f, want %f", vrp.HitRatePct, wantHit)
+	}
+	if math.Abs(vrp.MissRatePct-(100-wantHit)) > 1e-9 {
+		t.Errorf("vrp miss rate = %f, want %f", vrp.MissRatePct, 100-wantHit)
+	}
+	// Branch-equal: (|0.9-0.8| + |0.2-0.1|) / 2 = 0.1 → 10pp.
+	if math.Abs(vrp.MeanAbsErrPct-10) > 1e-9 {
+		t.Errorf("vrp mean abs err = %f, want 10", vrp.MeanAbsErrPct)
+	}
+	// Execution-weighted: (100·10 + 300·10) / 400 = 10pp too.
+	if math.Abs(vrp.WeightedMeanAbsErrPct-10) > 1e-9 {
+		t.Errorf("vrp weighted mean abs err = %f, want 10", vrp.WeightedMeanAbsErrPct)
+	}
+
+	// The profile predictor is probability-exact, so its error is 0 —
+	// but its miss rate is the branches' intrinsic entropy
+	// (100·0.2 + 300·0.1)/400 = 12.5%, not 0: even an oracle misses
+	// whenever a branch goes both ways.
+	prof := sa.Predictors[PredProfile]
+	if prof.MeanAbsErrPct > 1e-9 || prof.WeightedMeanAbsErrPct > 1e-9 {
+		t.Errorf("oracle profile predictor scored nonzero error: %+v", prof)
+	}
+	if math.Abs(prof.MissRatePct-12.5) > 1e-9 {
+		t.Errorf("profile miss rate = %f, want intrinsic 12.5", prof.MissRatePct)
+	}
+}
+
+func TestAccuracyReportJSONShape(t *testing.T) {
+	rep := &AccuracyReport{Suites: []SuiteAccuracy{SuiteAccuracyFrom("int", synthEvals())}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round AccuracyReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Suites) != 1 || round.Suites[0].Predictors[PredVRP].HitRatePct == 0 {
+		t.Errorf("round trip lost data: %s", data)
+	}
+	for _, key := range []string{`"suite"`, `"programs"`, `"branches"`, `"hit_rate_pct"`, `"miss_rate_pct"`, `"mean_abs_err_pct"`, `"weighted_mean_abs_err_pct"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("JSON missing documented key %s", key)
+		}
+	}
+}
+
+func TestPrintAccuracy(t *testing.T) {
+	rep := &AccuracyReport{Suites: []SuiteAccuracy{SuiteAccuracyFrom("int", synthEvals())}}
+	var buf bytes.Buffer
+	PrintAccuracy(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"suite int", "predictor", PredVRP, PredProfile} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAccuracyCorpus runs the real corpus end to end: the artifact must
+// cover both suites, and VRP must beat random on both (the paper's
+// central claim, coarsened to the hit-rate metric).
+func TestAccuracyCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus evaluation")
+	}
+	rep, err := Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suites) != 2 {
+		t.Fatalf("suites = %d, want 2", len(rep.Suites))
+	}
+	for _, sa := range rep.Suites {
+		if sa.Programs == 0 || sa.Branches == 0 {
+			t.Errorf("suite %s is empty: %+v", sa.Suite, sa)
+		}
+		vrp, random := sa.Predictors[PredVRP], sa.Predictors[PredRandom]
+		if vrp.MissRatePct >= random.MissRatePct {
+			t.Errorf("suite %s: vrp miss %.1f%% not better than random %.1f%%",
+				sa.Suite, vrp.MissRatePct, random.MissRatePct)
+		}
+		profile := sa.Predictors[PredProfile]
+		if profile.MissRatePct > vrp.MissRatePct+1e-9 {
+			t.Errorf("suite %s: profile oracle (%.1f%%) worse than vrp (%.1f%%)",
+				sa.Suite, profile.MissRatePct, vrp.MissRatePct)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU over serialized analysis responses, keyed
+// by the vrange.HashBytes fingerprint of the submitted source. The value
+// is the exact response body that was sent for the first request, so a
+// hit is byte-identical to the miss that populated it — the cache can
+// never change what a client observes, only how fast it arrives.
+//
+// Only plain analyses are cached: explain and telemetry requests carry
+// per-run payloads, so they bypass the cache entirely (counted by the
+// bypass metric, not as misses).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[uint64]*list.Element
+	order   *list.List // front = most recently used
+
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  uint64
+	body []byte
+}
+
+// newResultCache returns a cache bounded to max entries; max <= 0
+// disables caching (every get misses, put is a no-op).
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{
+		max:     max,
+		entries: make(map[uint64]*list.Element, max),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached body for key, promoting it to most recently
+// used.
+func (c *resultCache) get(key uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// full. Returns the number of entries evicted (0 or 1).
+func (c *resultCache) put(key uint64, body []byte) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Same fingerprint analyzed concurrently by two requests: keep
+		// the first body (they are equal by determinism) and refresh.
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	evicted := 0
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"vrp/internal/metrics"
+	"vrp/internal/telemetry"
+)
+
+// serverMetrics bundles every instrument vrpd exposes at /metrics. Names
+// follow the Prometheus conventions: `_total` counters, base-unit
+// histograms, ratio gauges computed at scrape time.
+//
+// The lattice group mirrors the telemetry.RunMetrics aggregates of every
+// completed analysis, so one scrape shows the lattice-level health of
+// live traffic — a regression that makes the engine widen more, intern
+// worse, or stop converging shows up on a dashboard before it shows up
+// in latency.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// HTTP surface.
+	requests *metrics.CounterVec // vrpd_http_requests_total{path,code}
+	inflight *metrics.Gauge      // vrpd_inflight_requests
+	shed     *metrics.Counter    // vrpd_requests_shed_total
+	latency  *metrics.Histogram  // vrpd_analyze_duration_seconds
+	srcBytes *metrics.Histogram  // vrpd_analyze_source_bytes
+
+	// Analysis outcomes.
+	analyses     *metrics.CounterVec // vrpd_analyses_total{outcome}
+	converged    *metrics.Counter    // vrpd_analyses_converged_total
+	notConverged *metrics.Counter    // vrpd_analyses_not_converged_total
+	passes       *metrics.Histogram  // vrpd_analysis_passes
+
+	// Result cache.
+	cacheHits      *metrics.Counter // vrpd_cache_hits_total
+	cacheMisses    *metrics.Counter // vrpd_cache_misses_total
+	cacheBypass    *metrics.Counter // vrpd_cache_bypass_total
+	cacheEvictions *metrics.Counter // vrpd_cache_evictions_total
+
+	// Lattice-level telemetry, folded from each run's Snapshot totals.
+	latSteps      *metrics.Counter // vrpd_lattice_steps_total
+	latPhiMerges  *metrics.Counter // vrpd_lattice_phi_merges_total
+	latWidens     *metrics.Counter // vrpd_lattice_widens_total
+	latAsserts    *metrics.Counter // vrpd_lattice_asserts_total
+	latDeriveHit  *metrics.Counter // vrpd_lattice_derive_hits_total
+	latDeriveMiss *metrics.Counter // vrpd_lattice_derive_misses_total
+	latBoundary   *metrics.Counter // vrpd_lattice_boundary_drops_total
+	internHits    *metrics.Counter // vrpd_lattice_intern_hits_total
+	internMisses  *metrics.Counter // vrpd_lattice_intern_misses_total
+	memoHits      *metrics.Counter // vrpd_lattice_memo_hits_total
+	memoMisses    *metrics.Counter // vrpd_lattice_memo_misses_total
+	funcsRun      *metrics.Counter // vrpd_lattice_funcs_analyzed_total
+	funcsSkipped  *metrics.Counter // vrpd_lattice_funcs_skipped_total
+	funcsDegraded *metrics.Counter // vrpd_lattice_funcs_degraded_total
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-second
+// pathological analyses.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// sourceBuckets buckets submitted program sizes in bytes.
+var sourceBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+func newServerMetrics(start time.Time) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:      reg,
+		requests: reg.CounterVec("vrpd_http_requests_total", "HTTP requests by path and status code.", "path", "code"),
+		inflight: reg.Gauge("vrpd_inflight_requests", "Analyze requests currently being served."),
+		shed:     reg.Counter("vrpd_requests_shed_total", "Analyze requests rejected with 429 because the in-flight bound was reached."),
+		latency:  reg.Histogram("vrpd_analyze_duration_seconds", "Wall time of /v1/analyze requests, cache hits included.", latencyBuckets),
+		srcBytes: reg.Histogram("vrpd_analyze_source_bytes", "Size of submitted Mini sources in bytes.", sourceBuckets),
+
+		analyses:     reg.CounterVec("vrpd_analyses_total", "Completed analyze requests by outcome.", "outcome"),
+		converged:    reg.Counter("vrpd_analyses_converged_total", "Analyses whose interprocedural fixpoint converged."),
+		notConverged: reg.Counter("vrpd_analyses_not_converged_total", "Analyses that exhausted MaxPasses (optimistic values demoted)."),
+		passes:       reg.Histogram("vrpd_analysis_passes", "Interprocedural fixpoint passes per analysis.", []float64{1, 2, 3, 4, 6, 8}),
+
+		cacheHits:      reg.Counter("vrpd_cache_hits_total", "Analyze requests served from the fingerprint-keyed result cache."),
+		cacheMisses:    reg.Counter("vrpd_cache_misses_total", "Cacheable analyze requests that had to run the analysis."),
+		cacheBypass:    reg.Counter("vrpd_cache_bypass_total", "Analyze requests that bypassed the cache (explain/telemetry queries)."),
+		cacheEvictions: reg.Counter("vrpd_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
+
+		latSteps:      reg.Counter("vrpd_lattice_steps_total", "Engine worklist steps across all analyses."),
+		latPhiMerges:  reg.Counter("vrpd_lattice_phi_merges_total", "Weighted phi-merges evaluated across all analyses."),
+		latWidens:     reg.Counter("vrpd_lattice_widens_total", "Range-set widenings across all analyses."),
+		latAsserts:    reg.Counter("vrpd_lattice_asserts_total", "Assertion (pi-node) refinements applied across all analyses."),
+		latDeriveHit:  reg.Counter("vrpd_lattice_derive_hits_total", "Loop phis matched by a derivation template."),
+		latDeriveMiss: reg.Counter("vrpd_lattice_derive_misses_total", "Derivation attempts that fell back to brute force."),
+		latBoundary:   reg.Counter("vrpd_lattice_boundary_drops_total", "Symbolic values collapsed to bottom crossing a function boundary."),
+		internHits:    reg.Counter("vrpd_lattice_intern_hits_total", "Hash-cons lookups that found an existing representative."),
+		internMisses:  reg.Counter("vrpd_lattice_intern_misses_total", "Hash-cons lookups that created a new representative."),
+		memoHits:      reg.Counter("vrpd_lattice_memo_hits_total", "Transfer-function memo hits."),
+		memoMisses:    reg.Counter("vrpd_lattice_memo_misses_total", "Transfer-function recomputations."),
+		funcsRun:      reg.Counter("vrpd_lattice_funcs_analyzed_total", "Per-function engine runs across all analyses."),
+		funcsSkipped:  reg.Counter("vrpd_lattice_funcs_skipped_total", "Engine runs elided by the driver's dirty-set skip."),
+		funcsDegraded: reg.Counter("vrpd_lattice_funcs_degraded_total", "Engine runs degraded to the bottom/heuristic fallback."),
+	}
+
+	// Scrape-time ratios, derived from the raw counters so they can never
+	// drift from them.
+	reg.GaugeFunc("vrpd_lattice_intern_hit_ratio", "Hash-cons hit ratio over all analyses (0 before any intern traffic).",
+		func() float64 { return ratio(m.internHits.Value(), m.internMisses.Value()) })
+	reg.GaugeFunc("vrpd_lattice_memo_hit_ratio", "Transfer-function memo hit ratio over all analyses.",
+		func() float64 { return ratio(m.memoHits.Value(), m.memoMisses.Value()) })
+	reg.GaugeFunc("vrpd_cache_hit_ratio", "Result-cache hit ratio over cacheable requests.",
+		func() float64 { return ratio(m.cacheHits.Value(), m.cacheMisses.Value()) })
+
+	// Process-level health.
+	reg.GaugeFunc("vrpd_goroutines", "Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("vrpd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	return m
+}
+
+func ratio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// observeSnapshot folds one analysis run's telemetry totals into the
+// lattice counters.
+func (m *serverMetrics) observeSnapshot(s *telemetry.Snapshot) {
+	if s == nil {
+		return
+	}
+	t := &s.Totals
+	m.latSteps.Add(t.Steps)
+	m.latPhiMerges.Add(t.PhiMerges)
+	m.latWidens.Add(t.Widens)
+	m.latAsserts.Add(t.Asserts)
+	m.latDeriveHit.Add(t.DeriveHits)
+	m.latDeriveMiss.Add(t.DeriveMiss)
+	m.latBoundary.Add(s.BoundaryDrops)
+	m.internHits.Add(t.InternHits)
+	m.internMisses.Add(t.InternMiss)
+	m.memoHits.Add(t.MemoHits)
+	m.memoMisses.Add(t.MemoMisses)
+	m.funcsRun.Add(t.Runs)
+	m.funcsSkipped.Add(t.Skips)
+	m.funcsDegraded.Add(t.Degraded)
+	m.passes.Observe(float64(s.Passes))
+}

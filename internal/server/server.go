@@ -1,0 +1,567 @@
+// Package server implements vrpd: an HTTP analysis service over the vrp
+// facade with observability as the headline feature.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   Mini source in the body → branch predictions,
+//	                   diagnostics and engine stats as JSON.
+//	                   ?explain=func:line adds the provenance chain of
+//	                   one branch; ?telemetry=1 attaches the run's full
+//	                   telemetry snapshot. Both bypass the result cache.
+//	GET  /metrics      Prometheus text exposition (internal/metrics).
+//	GET  /healthz      liveness: 200 while the process runs.
+//	GET  /readyz       readiness: 200 until Shutdown begins, then 503.
+//	     /debug/pprof  the standard net/http/pprof handlers.
+//
+// Operational behaviour:
+//
+//   - Every request gets an X-Request-Id and one structured log/slog
+//     record with method, path, status, duration and — for analyses —
+//     the outcome, cache disposition and convergence.
+//   - At most Config.MaxInFlight analyses run concurrently; excess
+//     requests are shed immediately with 429 (and counted) instead of
+//     queueing without bound.
+//   - Results are cached in a bounded LRU keyed by the vrange.HashBytes
+//     fingerprint of the source; a hit returns the exact bytes of the
+//     populating response.
+//   - Every analysis runs with telemetry enabled and its RunMetrics
+//     aggregates are folded into the /metrics registry, so a scrape
+//     shows lattice-level health (steps, φ-merges, widens, intern and
+//     memo hit rates, convergence) of live traffic.
+//   - Shutdown flips /readyz to 503 and drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"vrp"
+	"vrp/internal/telemetry"
+	"vrp/internal/vrange"
+)
+
+// Config controls a Server. The zero value is usable: it binds nothing
+// (callers pass a listener), serves with the defaults below, and logs
+// through slog.Default().
+type Config struct {
+	// MaxInFlight bounds concurrently served analyses; excess requests
+	// are shed with 429. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+
+	// MaxSourceBytes bounds the accepted request body. 0 means
+	// DefaultMaxSourceBytes.
+	MaxSourceBytes int64
+
+	// CacheEntries bounds the result cache; negative disables caching,
+	// 0 means DefaultCacheEntries.
+	CacheEntries int
+
+	// AnalyzeTimeout cancels one analysis after this long (the request
+	// fails with 503 and a cancelled outcome). 0 disables the timeout.
+	AnalyzeTimeout time.Duration
+
+	// Workers is passed through to vrp.WithWorkers: per-analysis engine
+	// parallelism. 0 picks one worker per CPU.
+	Workers int
+
+	// Logger receives the structured request log. nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxInFlight    = 16
+	DefaultMaxSourceBytes = 1 << 20
+	DefaultCacheEntries   = 256
+)
+
+// Server is the vrpd HTTP service. Create with New, serve with
+// ListenAndServe or Serve, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	m     *serverMetrics
+	cache *resultCache
+	sem   chan struct{}
+
+	mux      *http.ServeMux
+	http     *http.Server
+	draining atomic.Bool
+	reqSeq   atomic.Int64
+	idPrefix string
+
+	// testHookAnalyze, when non-nil, runs after the request body is read
+	// and before the analysis starts. Test-only: the drain and
+	// load-shedding tests use it to hold a request in flight.
+	testHookAnalyze func()
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = DefaultMaxSourceBytes
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	start := time.Now()
+	s := &Server{
+		cfg:      cfg,
+		log:      lg,
+		m:        newServerMetrics(start),
+		cache:    newResultCache(cfg.CacheEntries),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		mux:      http.NewServeMux(),
+		idPrefix: strconv.FormatInt(start.UnixNano()&0xfffffff, 36),
+	}
+	s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	s.mux.Handle("/metrics", s.instrument("/metrics", s.m.reg.Handler().ServeHTTP))
+	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the server's root handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry (the CLI uses it for a final
+// stats line; tests scrape it directly).
+func (s *Server) Metrics() http.Handler { return s.m.reg.Handler() }
+
+// Serve accepts connections on ln until Shutdown. A clean shutdown
+// returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until ctx is cancelled, then
+// drains with the given timeout (0 = wait indefinitely).
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("vrpd listening", "addr", ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.log.Info("vrpd draining", "reason", context.Cause(ctx))
+		sctx := context.Background()
+		if drainTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(sctx, drainTimeout)
+			defer cancel()
+		}
+		if err := s.Shutdown(sctx); err != nil {
+			return err
+		}
+		return <-errc
+	}
+}
+
+// Shutdown flips readiness to 503 and gracefully drains: it blocks until
+// every in-flight request has completed or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.http.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ---------------------------------------------------------- middleware
+
+// statusWriter captures the status code and bytes written for the
+// request log and the requests_total counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument assigns the request ID, counts the request by path and
+// status, and emits exactly one structured log record per request.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r.WithContext(withRequestID(r.Context(), id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		s.m.requests.With(path, strconv.Itoa(sw.status)).Inc()
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", path,
+			"status", sw.status,
+			"dur_ms", float64(dur.Microseconds())/1e3,
+			"bytes_out", sw.bytes,
+		)
+	})
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ------------------------------------------------------------ handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// AnalyzeResponse is the JSON body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Converged   bool             `json:"converged"`
+	Predictions []PredictionJSON `json:"predictions"`
+	Diagnostics []DiagnosticJSON `json:"diagnostics,omitempty"`
+	Stats       StatsJSON        `json:"stats"`
+
+	// Explanation is the rendered provenance chain for ?explain=.
+	Explanation string `json:"explanation,omitempty"`
+	// Telemetry is the run's full snapshot for ?telemetry=1.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// PredictionJSON is one conditional branch's prediction.
+type PredictionJSON struct {
+	Func   string  `json:"func"`
+	Line   int     `json:"line"`
+	Col    int     `json:"col"`
+	Prob   float64 `json:"prob"`
+	Source string  `json:"source"`
+}
+
+// DiagnosticJSON is one structured analysis event.
+type DiagnosticJSON struct {
+	Kind string `json:"kind"`
+	Func string `json:"func,omitempty"`
+	SCC  int    `json:"scc"`
+	Pass int    `json:"pass"`
+	Msg  string `json:"msg"`
+}
+
+// StatsJSON summarizes the engine's work for one analysis.
+type StatsJSON struct {
+	Passes        int   `json:"passes"`
+	ExprEvals     int64 `json:"expr_evals"`
+	PhiEvals      int64 `json:"phi_evals"`
+	SubOps        int64 `json:"sub_ops"`
+	FuncsAnalyzed int64 `json:"funcs_analyzed"`
+	FuncsSkipped  int64 `json:"funcs_skipped"`
+	FuncsDegraded int64 `json:"funcs_degraded"`
+	RecWidens     int64 `json:"rec_widens"`
+}
+
+// errorResponse is the JSON body of every failed request.
+type errorResponse struct {
+	Error string `json:"error"`
+	Stage string `json:"stage,omitempty"` // "read", "compile", "analyze", "explain"
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "", "POST Mini source to /v1/analyze")
+		return
+	}
+
+	// Load shedding: reject immediately when MaxInFlight analyses are
+	// already running — a bounded queue beats an unbounded pile-up.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "", "server at capacity, retry later")
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.inflight.Inc()
+	defer s.m.inflight.Dec()
+
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0).Seconds()) }()
+
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.countOutcome("too_large")
+			s.writeError(w, http.StatusRequestEntityTooLarge, "read",
+				fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes))
+			return
+		}
+		s.countOutcome("read_error")
+		s.writeError(w, http.StatusBadRequest, "read", err.Error())
+		return
+	}
+	if len(src) == 0 {
+		s.countOutcome("empty")
+		s.writeError(w, http.StatusBadRequest, "read", "empty body: POST Mini source")
+		return
+	}
+	s.m.srcBytes.Observe(float64(len(src)))
+
+	if s.testHookAnalyze != nil {
+		s.testHookAnalyze()
+	}
+
+	q := r.URL.Query()
+	explain := q.Get("explain")
+	wantTelemetry := q.Get("telemetry") == "1"
+	cacheable := explain == "" && !wantTelemetry && s.cache != nil
+
+	key := vrange.HashBytes(src)
+	if cacheable {
+		if body, ok := s.cache.get(key); ok {
+			s.m.cacheHits.Inc()
+			s.countOutcome("cache_hit")
+			s.logAnalyze(r, "cache_hit", "hit", t0, nil)
+			s.writeBody(w, http.StatusOK, body)
+			return
+		}
+		s.m.cacheMisses.Inc()
+	} else {
+		s.m.cacheBypass.Inc()
+	}
+
+	resp, status, outcome, errResp := s.analyze(r.Context(), src, explain, wantTelemetry)
+	s.countOutcome(outcome)
+	if errResp != nil {
+		s.logAnalyze(r, outcome, cacheDisposition(cacheable), t0, nil)
+		s.writeJSON(w, status, errResp)
+		return
+	}
+
+	body, err := json.Marshal(resp)
+	if err != nil { // cannot happen for these types; fail loudly anyway
+		s.writeError(w, http.StatusInternalServerError, "encode", err.Error())
+		return
+	}
+	body = append(body, '\n')
+	if cacheable {
+		if evicted := s.cache.put(key, body); evicted > 0 {
+			s.m.cacheEvictions.Add(int64(evicted))
+		}
+	}
+	s.logAnalyze(r, outcome, cacheDisposition(cacheable), t0, resp)
+	s.writeBody(w, status, body)
+}
+
+func cacheDisposition(cacheable bool) string {
+	if cacheable {
+		return "miss"
+	}
+	return "bypass"
+}
+
+// analyze compiles and analyzes src, threading the run's telemetry into
+// the lattice metrics. It returns either a response or an error body.
+func (s *Server) analyze(ctx context.Context, src []byte, explain string, wantTelemetry bool) (*AnalyzeResponse, int, string, *errorResponse) {
+	prog, err := vrp.Compile("request.mini", string(src))
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, "compile_error", &errorResponse{Error: err.Error(), Stage: "compile"}
+	}
+
+	if s.cfg.AnalyzeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.AnalyzeTimeout)
+		defer cancel()
+	}
+	opts := []vrp.Option{vrp.WithTelemetry(), vrp.WithWorkers(s.cfg.Workers)}
+	analysis, err := prog.AnalyzeContext(ctx, opts...)
+	if err != nil {
+		status, outcome := http.StatusInternalServerError, "analysis_error"
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status, outcome = http.StatusServiceUnavailable, "cancelled"
+		}
+		return nil, status, outcome, &errorResponse{Error: err.Error(), Stage: "analyze"}
+	}
+
+	snap := analysis.Telemetry()
+	s.m.observeSnapshot(snap)
+	if analysis.Converged() {
+		s.m.converged.Inc()
+	} else {
+		s.m.notConverged.Inc()
+	}
+
+	resp := &AnalyzeResponse{
+		Converged:   analysis.Converged(),
+		Predictions: []PredictionJSON{},
+		Stats: StatsJSON{
+			Passes:        analysis.Result.Stats.Passes,
+			ExprEvals:     analysis.Result.Stats.ExprEvals,
+			PhiEvals:      analysis.Result.Stats.PhiEvals,
+			SubOps:        analysis.Result.Stats.SubOps,
+			FuncsAnalyzed: analysis.Result.Stats.FuncsAnalyzed,
+			FuncsSkipped:  analysis.Result.Stats.FuncsSkipped,
+			FuncsDegraded: analysis.Result.Stats.FuncsDegraded,
+			RecWidens:     analysis.Result.Stats.RecWidens,
+		},
+	}
+	for _, p := range analysis.Predictions() {
+		resp.Predictions = append(resp.Predictions, PredictionJSON{
+			Func:   p.Func,
+			Line:   p.Pos.Line,
+			Col:    p.Pos.Col,
+			Prob:   p.Prob,
+			Source: p.Source,
+		})
+	}
+	for _, d := range analysis.Diagnostics() {
+		resp.Diagnostics = append(resp.Diagnostics, DiagnosticJSON{
+			Kind: d.Kind.String(),
+			Func: d.Func,
+			SCC:  d.SCC,
+			Pass: d.Pass,
+			Msg:  d.Msg,
+		})
+	}
+	if explain != "" {
+		fn, line := explain, 0
+		if i := lastColon(explain); i >= 0 {
+			n, err := strconv.Atoi(explain[i+1:])
+			if err != nil {
+				return nil, http.StatusBadRequest, "explain_error",
+					&errorResponse{Error: fmt.Sprintf("bad explain target %q: want func or func:line", explain), Stage: "explain"}
+			}
+			fn, line = explain[:i], n
+		}
+		be, err := analysis.ExplainBranch(fn, line)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, "explain_error", &errorResponse{Error: err.Error(), Stage: "explain"}
+		}
+		resp.Explanation = be.String()
+	}
+	if wantTelemetry {
+		resp.Telemetry = snap
+	}
+	return resp, http.StatusOK, "ok", nil
+}
+
+func lastColon(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			return i
+		}
+	}
+	return -1
+}
+
+// logAnalyze emits the analysis-specific log record (the instrument
+// middleware separately logs the HTTP envelope).
+func (s *Server) logAnalyze(r *http.Request, outcome, cache string, t0 time.Time, resp *AnalyzeResponse) {
+	attrs := []any{
+		"id", requestID(r.Context()),
+		"outcome", outcome,
+		"cache", cache,
+		"dur_ms", float64(time.Since(t0).Microseconds()) / 1e3,
+	}
+	if resp != nil {
+		attrs = append(attrs,
+			"converged", resp.Converged,
+			"predictions", len(resp.Predictions),
+			"diagnostics", len(resp.Diagnostics),
+			"passes", resp.Stats.Passes,
+			"funcs_analyzed", resp.Stats.FuncsAnalyzed,
+		)
+	}
+	s.log.Info("analyze", attrs...)
+}
+
+func (s *Server) countOutcome(outcome string) {
+	s.m.analyses.With(outcome).Inc()
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, stage, msg string) {
+	s.writeJSON(w, status, &errorResponse{Error: msg, Stage: stage})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeBody(w, status, append(body, '\n'))
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

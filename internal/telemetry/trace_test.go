@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// traceSnapshot builds a fixed snapshot exercising every event shape
+// the writer distinguishes: a driver-level span (Func -1 → tid 0), a
+// per-function engine span (Func 1 → tid 2), and an instant event.
+func traceSnapshot() *Snapshot {
+	return &Snapshot{
+		Funcs: []FuncMetrics{
+			{Func: "main"},
+			{Func: "kernel"},
+		},
+		Events: []Event{
+			{Name: "pass 0", Cat: "pass", Ph: "X", Pass: 0, Wave: -1, Func: -1, Start: 1000, Dur: 500000},
+			{Name: "run kernel", Cat: "engine", Ph: "X", Pass: 0, Wave: 1, Func: 1, Start: 2000, Dur: 250000,
+				Args: map[string]string{"outcome": "ok"}},
+			{Name: "skip main", Cat: "skip", Ph: "i", Pass: 1, Wave: 0, Func: 0, Start: 600000},
+		},
+		Passes: 2,
+	}
+}
+
+// TestWriteChromeTraceGolden pins the writer's full JSON output: the
+// thread-name metadata rows, the tid mapping (driver 0, function fi+1),
+// the ns→µs conversion, dur only on "X" spans, and the thread-scoped
+// "s":"t" marker only on instants.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceSnapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "driver"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "main"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "name": "kernel"
+   }
+  },
+  {
+   "name": "pass 0",
+   "cat": "pass",
+   "ph": "X",
+   "ts": 1,
+   "dur": 500,
+   "pid": 1,
+   "tid": 0
+  },
+  {
+   "name": "run kernel",
+   "cat": "engine",
+   "ph": "X",
+   "ts": 2,
+   "dur": 250,
+   "pid": 1,
+   "tid": 2,
+   "args": {
+    "outcome": "ok"
+   }
+  },
+  {
+   "name": "skip main",
+   "cat": "skip",
+   "ph": "i",
+   "ts": 600,
+   "pid": 1,
+   "tid": 1,
+   "s": "t"
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("trace output mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestWriteChromeTraceRoundTrip re-parses the emitted JSON and checks
+// the structural invariants hold for a generic consumer (Perfetto needs
+// valid traceEvents with pid/tid/ph on every record).
+func TestWriteChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	snap := traceSnapshot()
+	if err := snap.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("writer emitted invalid JSON: %v", err)
+	}
+	if parsed.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", parsed.Unit)
+	}
+	// Metadata rows for driver + every function, then one row per event.
+	if want := 1 + len(snap.Funcs) + len(snap.Events); len(parsed.TraceEvents) != want {
+		t.Fatalf("traceEvents = %d records, want %d", len(parsed.TraceEvents), want)
+	}
+	for i, rec := range parsed.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("record %d missing %q: %v", i, key, rec)
+			}
+		}
+		ph := rec["ph"].(string)
+		_, hasDur := rec["dur"]
+		if hasDur != (ph == "X") {
+			t.Errorf("record %d: ph=%q with dur present=%v", i, ph, hasDur)
+		}
+		if s, ok := rec["s"]; ok != (ph == "i") || (ok && s != "t") {
+			t.Errorf("record %d: ph=%q with s=%v", i, ph, rec["s"])
+		}
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct {
+	n   int
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestWriteChromeTraceSinkError: a failing writer must surface its
+// error, not panic or silently truncate the trace. (json.Encoder
+// buffers the whole document into one Write, so a sink that fails at
+// all fails that write.)
+func TestWriteChromeTraceSinkError(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	err := traceSnapshot().WriteChromeTrace(&errWriter{n: 0, err: sinkErr})
+	if !errors.Is(err, sinkErr) {
+		t.Errorf("err = %v, want %v", err, sinkErr)
+	}
+}
+
+// TestWriteChromeTraceEmptySnapshot: a telemetry-less run still writes
+// a loadable trace (driver metadata only).
+func TestWriteChromeTraceEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Snapshot{}).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"driver"`) {
+		t.Errorf("empty-snapshot trace missing driver thread row:\n%s", buf.String())
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON for empty snapshot: %v", err)
+	}
+}

@@ -104,6 +104,30 @@ func HashValues(vs []Value) uint64 {
 	return h.Sum()
 }
 
+// HashBytes fingerprints an arbitrary byte string with the same
+// word-at-a-time mix the Value hasher uses: eight bytes at a time through
+// mix64, the length folded in last so prefixes do not collide with their
+// zero-padded extensions. The analysis server keys its result cache on
+// this digest of the submitted source.
+func HashBytes(data []byte) uint64 {
+	h := uint64(fnvOffset)
+	n := len(data)
+	for len(data) >= 8 {
+		w := uint64(data[0]) | uint64(data[1])<<8 | uint64(data[2])<<16 | uint64(data[3])<<24 |
+			uint64(data[4])<<32 | uint64(data[5])<<40 | uint64(data[6])<<48 | uint64(data[7])<<56
+		h = (h ^ mix64(w)) * fnvPrime
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var w uint64
+		for i, b := range data {
+			w |= uint64(b) << (8 * i)
+		}
+		h = (h ^ mix64(w)) * fnvPrime
+	}
+	return (h ^ mix64(uint64(n))) * fnvPrime
+}
+
 // BitEqual reports exact structural equality: same kind, same ranges, and
 // bit-identical probabilities. It is stricter than Equal (which tolerates
 // probability drift below 1e-9); the driver's dirty-set test must be exact

@@ -74,3 +74,33 @@ func TestHasherOrderSensitive(t *testing.T) {
 		t.Error("hash must be order sensitive (input vectors are positional)")
 	}
 }
+
+// TestHashBytes pins the properties the server's source-keyed result
+// cache relies on: determinism, sensitivity to every byte position
+// (including the sub-word tail), and prefix/length separation.
+func TestHashBytes(t *testing.T) {
+	if HashBytes(nil) != HashBytes([]byte{}) {
+		t.Error("nil and empty must hash equal")
+	}
+	src := []byte("func main() { print(1); }")
+	if HashBytes(src) != HashBytes(append([]byte(nil), src...)) {
+		t.Error("equal contents must hash equal")
+	}
+	seen := map[uint64][]byte{}
+	variants := [][]byte{src, src[:len(src)-1], append(append([]byte(nil), src...), ' ')}
+	for i := 0; i < len(src); i++ {
+		mut := append([]byte(nil), src...)
+		mut[i] ^= 1
+		variants = append(variants, mut)
+	}
+	// Zero-padding separation: a short tail must not collide with the
+	// same bytes explicitly zero-extended to the word boundary.
+	variants = append(variants, []byte("ab"), []byte("ab\x00"), []byte("ab\x00\x00\x00\x00\x00\x00"))
+	for _, v := range variants {
+		h := HashBytes(v)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("collision between %q and %q", prev, v)
+		}
+		seen[h] = v
+	}
+}

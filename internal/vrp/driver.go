@@ -211,6 +211,7 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 			break
 		}
 		d.pass = pass
+		d.ip.beginPass(pass)
 		res.Stats.Passes++
 		d.changed.Store(false)
 		var passStart int64

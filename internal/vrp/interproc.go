@@ -38,18 +38,21 @@ type interproc struct {
 	// precision loss. Atomic because concurrent wave tasks fold results.
 	drops atomic.Int64
 
-	// Recursion widening (Config.RecWidenAfter): per-slot move counters
-	// and pin flags for return ranges and same-SCC argument positions.
-	// The race discipline matches args/retVals — retMoves[fi] and
-	// retPinned[fi] are touched only by fi's own task, argMoves[ci][pos]
-	// and argPinned[ci][pos] only by the task of caller Callers[ci][pos]
-	// — so distinct slice elements remain the only shared memory.
+	// Recursion widening (Config.RecWidenAfter): pin flags for return
+	// ranges and same-SCC argument positions. A slot still moving once
+	// recWidenAfter full passes have completed (pass is the driver's
+	// 0-based pass index, advanced before each pass's waves launch) is
+	// pinned — pass-based rather than per-slot move counting, so every
+	// straggler pins in the same pass and late-starting slots cannot
+	// cascade past MaxPasses. The race discipline matches args/retVals —
+	// retPinned[fi] is touched only by fi's own task, argPinned[ci][pos]
+	// only by the task of caller Callers[ci][pos] — so distinct slice
+	// elements remain the only shared memory.
 	recWidenAfter int
+	pass          int
 	assumedMag    int64
-	recursive     []bool  // function index → member of a cyclic SCC
-	retMoves      []int   // function index → passes the return range moved
-	retPinned     []bool  // function index → return range widened
-	argMoves      [][]int // [callee][caller pos] → passes the slot moved
+	recursive     []bool // function index → member of a cyclic SCC
+	retPinned     []bool // function index → return range widened
 	argPinned     [][]bool
 	recWidens     atomic.Int64 // slots pinned; Stats.RecWidens
 }
@@ -74,14 +77,11 @@ func newInterproc(p *ir.Program, cfg Config, cg *callgraph.Graph) *interproc {
 		ip.assumedMag = 10
 	}
 	ip.recursive = make([]bool, n)
-	ip.retMoves = make([]int, n)
 	ip.retPinned = make([]bool, n)
-	ip.argMoves = make([][]int, n)
 	ip.argPinned = make([][]bool, n)
 	for i := 0; i < n; i++ {
 		ip.args[i] = make([]*callerArgs, len(cg.Callers[i]))
 		ip.recursive[i] = cg.Recursive(cg.SCCID[i])
-		ip.argMoves[i] = make([]int, len(cg.Callers[i]))
 		ip.argPinned[i] = make([]bool, len(cg.Callers[i]))
 		if cfg.Interprocedural {
 			ip.retVals[i] = vrange.TopValue()
@@ -143,6 +143,21 @@ func (ip *interproc) clampMag(v vrange.Value) vrange.Value {
 // is the termination guarantee for recursive fixpoints whose exact
 // descending chain (e.g. ackermann's argument ranges growing one value
 // per pass) would outlast MaxPasses.
+// pinValue is the value a slot takes at the moment it is pinned: the
+// full assumed hull. Saturating immediately — rather than letting
+// widenPinned walk the {bound, ±assumedMag} ladder over later passes —
+// makes the pin a fixed point of every subsequent merge, so all
+// stragglers pinned in the arming pass settle in a single confirming
+// pass. That one-pass settling is what lets the default threshold sit
+// at MaxPasses-2. Non-numeric values fall back to the clamp.
+func (ip *interproc) pinValue(cur vrange.Value) vrange.Value {
+	cc := ip.clampMag(cur)
+	if _, _, ok := numericHull(cc); !ok {
+		return cc
+	}
+	return hullRange(-ip.assumedMag, ip.assumedMag)
+}
+
 func (ip *interproc) widenPinned(prev, cur vrange.Value) vrange.Value {
 	cc := ip.clampMag(cur)
 	pl, ph, ok := numericHull(prev)
@@ -177,6 +192,17 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// beginPass records the driver's 0-based pass index; widening arms once
+// recWidenAfter full passes have completed. Called before the pass's
+// waves launch, so tasks observe it without racing.
+func (ip *interproc) beginPass(pass int) { ip.pass = pass }
+
+// widenArmed reports whether recursion widening pins moving slots in
+// the current pass: the first recWidenAfter passes stay exact.
+func (ip *interproc) widenArmed() bool {
+	return ip.recWidenAfter > 0 && ip.pass >= ip.recWidenAfter
+}
+
 // maybeWidenRet applies recursion widening to a freshly merged return
 // range of function fi. A return range still moving after recWidenAfter
 // passes is pinned; from then on every merge result is clamped.
@@ -190,11 +216,10 @@ func (ip *interproc) maybeWidenRet(fi int, v vrange.Value) vrange.Value {
 	if v.Equal(ip.retVals[fi]) {
 		return v // not a move
 	}
-	ip.retMoves[fi]++
-	if ip.retMoves[fi] >= ip.recWidenAfter {
+	if ip.widenArmed() {
 		ip.retPinned[fi] = true
 		ip.recWidens.Add(1)
-		return ip.widenPinned(ip.retVals[fi], v)
+		return ip.pinValue(v)
 	}
 	return v
 }
@@ -371,19 +396,14 @@ func (ip *interproc) update(fi int, vals []vrange.Value, blockFreq func(*ir.Bloc
 				if prev != nil {
 					ca.w = prev.w
 				}
-			} else if prev != nil && !sameArgs(prev, ca) {
-				ip.argMoves[ci][pos]++
-				if ip.argMoves[ci][pos] >= ip.recWidenAfter {
-					ip.argPinned[ci][pos] = true
-					ip.recWidens.Add(1)
-					for i := range ca.vals {
-						if i < len(prev.vals) {
-							ca.vals[i] = ip.widenPinned(prev.vals[i], ca.vals[i])
-						} else {
-							ca.vals[i] = ip.clampMag(ca.vals[i])
-						}
-					}
+			} else if prev != nil && !sameArgs(prev, ca) && ip.widenArmed() {
+				ip.argPinned[ci][pos] = true
+				ip.recWidens.Add(1)
+				for i := range ca.vals {
+					ca.vals[i] = ip.pinValue(ca.vals[i])
 				}
+				// Freeze the weight at pin time too (see above).
+				ca.w = prev.w
 			}
 		}
 		if prev == nil || !sameArgs(prev, ca) {

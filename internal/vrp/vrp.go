@@ -52,7 +52,9 @@ type Config struct {
 	// clamped into ±Range.AssumedVarValue. This trades the tail of the
 	// descending chain for a guaranteed fixpoint on recursions (such as
 	// ackermann) whose argument ranges would otherwise keep shifting
-	// until MaxPasses gives up. 0 (the default) disables widening.
+	// until MaxPasses gives up. DefaultConfig sets MaxPasses-2, leaving
+	// the first passes exact and widening only stragglers; 0 disables
+	// widening entirely.
 	RecWidenAfter int
 
 	// MaxEvals is the per-instruction evaluation budget before the engine
@@ -118,6 +120,7 @@ func DefaultConfig() Config {
 		Derivation:      true,
 		Interprocedural: true,
 		MaxPasses:       8,
+		RecWidenAfter:   6, // MaxPasses - 2: exact early passes, widened stragglers
 		MaxEvals:        12,
 		FlowFirst:       true,
 		FreqEpsilon:     1e-4,

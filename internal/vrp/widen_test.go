@@ -18,10 +18,12 @@ func ackermannProg(t *testing.T) *ir.Program {
 	return nil
 }
 
-// TestRecursionWideningConverges: with RecWidenAfter set, the ackermann
-// self-recursion must reach a true interprocedural fixpoint within
-// MaxPasses (instead of the ⊤→⊥ non-convergence demotion), and the
-// widening must actually fire.
+// TestRecursionWideningConverges: under DefaultConfig (RecWidenAfter =
+// MaxPasses-2) the ackermann self-recursion must widen and reach a true
+// interprocedural fixpoint within MaxPasses, with no non-convergence
+// diagnostic. Opting out with RecWidenAfter=0 restores the old
+// behaviour: no widening, and the shifting argument ranges exhaust
+// MaxPasses into the ⊤→⊥ demotion path.
 func TestRecursionWideningConverges(t *testing.T) {
 	prog := ackermannProg(t)
 
@@ -31,11 +33,37 @@ func TestRecursionWideningConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.RecWidens != 0 {
-		t.Errorf("widening fired with RecWidenAfter=0: RecWidens=%d", res.Stats.RecWidens)
+	if !res.Stats.Converged {
+		t.Errorf("default config: fixpoint did not converge in %d passes", base.MaxPasses)
 	}
-	baseConverged := res.Stats.Converged
+	if res.Stats.RecWidens == 0 {
+		t.Error("default config: no slot was pinned on the recursive SCC")
+	}
+	for _, d := range res.Diagnostics {
+		if d.Kind == DiagNonConvergence {
+			t.Errorf("unexpected non-convergence diagnostic: %+v", d)
+		}
+	}
 
+	off := DefaultConfig()
+	off.Workers = 1
+	off.RecWidenAfter = 0 // opt out
+	ores, err := Analyze(prog, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Stats.RecWidens != 0 {
+		t.Errorf("widening fired with RecWidenAfter=0: RecWidens=%d", ores.Stats.RecWidens)
+	}
+	if ores.Stats.Converged {
+		t.Error("RecWidenAfter=0: ackermann converged without widening; the default no longer protects anything")
+	}
+}
+
+// TestRecursionWideningEarlier: a more aggressive threshold than the
+// default still converges and still fires.
+func TestRecursionWideningEarlier(t *testing.T) {
+	prog := ackermannProg(t)
 	wcfg := DefaultConfig()
 	wcfg.Workers = 1
 	wcfg.RecWidenAfter = 3
@@ -44,16 +72,10 @@ func TestRecursionWideningConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !wres.Stats.Converged {
-		t.Errorf("RecWidenAfter=3: fixpoint did not converge in %d passes (baseline converged=%v)",
-			wcfg.MaxPasses, baseConverged)
+		t.Errorf("RecWidenAfter=3: fixpoint did not converge in %d passes", wcfg.MaxPasses)
 	}
 	if wres.Stats.RecWidens == 0 {
 		t.Error("RecWidenAfter=3: no slot was pinned on a recursive SCC")
-	}
-	for _, d := range wres.Diagnostics {
-		if d.Kind == DiagNonConvergence {
-			t.Errorf("unexpected non-convergence diagnostic: %+v", d)
-		}
 	}
 }
 

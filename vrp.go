@@ -143,8 +143,9 @@ func WithAssumedMagnitude(t int64) Option {
 // call-graph cycles: an interprocedural slot still moving after k passes
 // is pinned to a hull range clamped into ±AssumedVarValue, guaranteeing
 // that deep recursions (ackermann and friends) reach a true fixpoint
-// instead of exhausting MaxPasses. k <= 0 disables widening (the
-// default).
+// instead of exhausting MaxPasses. The default is MaxPasses-2 (the
+// first passes stay exact; only stragglers are widened); pass k <= 0 to
+// opt out of widening entirely.
 func WithRecursionWidening(k int) Option {
 	return func(c *corevrp.Config) { c.RecWidenAfter = k }
 }
