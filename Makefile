@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet race fmt check bench accuracy serve
+.PHONY: build test vet race fmt check bench bench-gate accuracy serve
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ check: fmt vet race
 # Machine-readable driver benchmark: writes BENCH_driver.json.
 bench:
 	$(GO) run ./cmd/vrpbench -bench
+
+# Interning regression gate: writes BENCH_lattice.json and fails if the
+# hash-cons layer is slower than running without it on any corpus point
+# (quick sizes plus the generated ≥10k-instruction tier).
+bench-gate:
+	$(GO) run ./cmd/vrpbench -lattice -gate -quick
 
 # Per-predictor miss rates and errors: writes BENCH_accuracy.json.
 accuracy:

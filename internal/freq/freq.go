@@ -4,13 +4,21 @@
 // 1994) — the technique §6 of the paper cites for turning its branch
 // probabilities into execution frequency estimates.
 //
-// Loops are processed innermost first. Within a loop the header gets
-// frequency 1 and frequencies propagate acyclically (back edges skipped);
-// the loop's cyclic probability cp — the mass flowing along back edges
-// into the header — then turns into the multiplier 1/(1-cp) when the
-// enclosing region is propagated. The vrp engine also uses this solver:
-// closed-form loop frequencies converge in one pass where naive iteration
-// creeps geometrically.
+// The solver is exact per-loop elimination on the condensed CFG: loops
+// are eliminated innermost first, and each elimination propagates
+// frequencies acyclically over the loop's own blocks (back edges
+// skipped), reduces the loop to its cyclic probability cp — the mass
+// flowing along back edges into the header — and replaces it, for every
+// enclosing region, by the closed-form multiplier 1/(1-cp). One final
+// acyclic propagation over the whole function then yields the solution
+// directly; nothing iterates to convergence, so there is no geometric
+// creep and no tolerance.
+//
+// Each elimination step touches only the loop's member blocks: NewSolver
+// precomputes every loop's members in reverse postorder once, so a solve
+// is O(Σ|loop| + |blocks|) instead of the filter-every-block scan's
+// O(loops × blocks). The old scan survives as ReferenceCompute, the
+// oracle the differential tests compare against bit-for-bit.
 package freq
 
 import (
@@ -45,7 +53,21 @@ type Solver struct {
 	ls    []*dom.Loop    // innermost (deepest) first
 	isHdr []bool         // by block ID: block heads some loop
 	cp    []float64      // by block ID: cyclic probability of that header
-	fr    Frequencies    // reused output buffers
+
+	// Per-loop elimination order data, indexed like ls: the loop's member
+	// blocks in f.Blocks (reverse postorder) order, and the membership set
+	// by block ID. Propagating over members in RPO order visits exactly
+	// the blocks — in exactly the order — the reference scan visits, so
+	// the floating-point operation sequence is identical and the results
+	// are bit-identical, not merely close.
+	members [][]*ir.Block
+	inSet   [][]bool
+	// backID mirrors back as a dense edge-ID indexed set: the propagation
+	// inner loop tests one back-edge bit per predecessor, and the slice
+	// load replaces what was the solver's hottest map lookup.
+	backID []bool
+
+	fr Frequencies // reused output buffers
 }
 
 // NewSolver prepares a solver for f. tree/loops/back are the caller's
@@ -75,6 +97,28 @@ func NewSolver(f *ir.Func, tree *dom.Tree, loops *dom.LoopInfo, back map[*ir.Edg
 	for _, l := range loops.Loops {
 		s.isHdr[l.Header.ID] = true
 	}
+	// Materialize each loop's members once, in RPO order, so every solve
+	// walks member lists instead of filtering all blocks per loop.
+	s.members = make([][]*ir.Block, len(s.ls))
+	s.inSet = make([][]bool, len(s.ls))
+	for li, l := range s.ls {
+		in := make([]bool, len(f.Blocks))
+		var mem []*ir.Block
+		for _, b := range f.Blocks {
+			if l.Contains(b.ID) {
+				in[b.ID] = true
+				mem = append(mem, b)
+			}
+		}
+		s.members[li] = mem
+		s.inSet[li] = in
+	}
+	s.backID = make([]bool, len(f.Edges))
+	for e := range back {
+		if back[e] {
+			s.backID[e.ID] = true
+		}
+	}
 	return s
 }
 
@@ -100,43 +144,72 @@ func (s *Solver) edgeProb(e *ir.Edge) (float64, bool) {
 	return 0, false
 }
 
-// propagate computes frequencies inside one region: the blocks of a loop
-// (header first) or, with region == nil, the whole function from the
-// entry. Inner loop headers are scaled by their 1/(1-cp) multiplier.
-// Blocks are visited in RPO (f.Blocks order), which top-sorts the acyclic
+// propagate runs one acyclic propagation into fr: over loop li's member
+// blocks (header first), or over the whole function from the entry when
+// li < 0. Inner loop headers are scaled by their 1/(1-cp) multiplier.
+// Member lists are in RPO (f.Blocks order), which top-sorts the acyclic
 // remainder once back edges are skipped.
-func (s *Solver) propagate(head *ir.Block, region *dom.Loop) {
-	for _, b := range s.f.Blocks {
-		if region != nil && !region.Contains(b.ID) {
-			continue
-		}
+func (s *Solver) propagate(fr *Frequencies, cp []float64, head *ir.Block, li int) {
+	blocks := s.f.Blocks
+	var in []bool
+	if li >= 0 {
+		blocks = s.members[li]
+		in = s.inSet[li]
+	}
+	for _, b := range blocks {
 		var freqv float64
 		if b == head {
 			freqv = 1
 		} else {
 			for _, pe := range b.Preds {
-				if s.back[pe] || (region != nil && !region.Contains(pe.From.ID)) {
+				if s.backID[pe.ID] || (in != nil && !in[pe.From.ID]) {
 					continue
 				}
-				freqv += s.fr.Edge[pe.ID]
+				freqv += fr.Edge[pe.ID]
 			}
 			if s.isHdr[b.ID] {
-				c := s.cp[b.ID]
+				c := cp[b.ID]
 				if c > MaxCyclic {
 					c = MaxCyclic
 				}
 				freqv /= 1 - c
 			}
 		}
-		s.fr.Block[b.ID] = freqv
+		fr.Block[b.ID] = freqv
 		for _, se := range b.Succs {
 			p, known := s.edgeProb(se)
 			if !known {
-				s.fr.Edge[se.ID] = 0
+				fr.Edge[se.ID] = 0
 				continue
 			}
-			s.fr.Edge[se.ID] = freqv * p
+			fr.Edge[se.ID] = freqv * p
 		}
+	}
+}
+
+// solve eliminates loops innermost-first into fr/cp, then propagates the
+// whole function. Shared by Compute and ReferenceCompute, which differ
+// only in how each propagation selects blocks.
+func (s *Solver) solve(fr *Frequencies, cp []float64, reference bool) {
+	for li, l := range s.ls {
+		if reference {
+			s.refPropagate(fr, cp, l.Header, l)
+		} else {
+			s.propagate(fr, cp, l.Header, li)
+		}
+		c := 0.0
+		for _, be := range l.BackEdge {
+			c += fr.Edge[be.ID]
+		}
+		if c > MaxCyclic {
+			c = MaxCyclic
+		}
+		cp[l.Header.ID] = c
+	}
+	if reference {
+		s.refPropagate(fr, cp, s.f.Entry, nil)
+	} else {
+		s.propagate(fr, cp, s.f.Entry, -1)
 	}
 }
 
@@ -152,21 +225,64 @@ func (s *Solver) Compute(prob BranchProbFunc) *Frequencies {
 	// remainder (memclr, no allocation).
 	clear(s.fr.Block)
 	clear(s.fr.Edge)
-	for _, l := range s.ls {
-		s.propagate(l.Header, l)
-		c := 0.0
-		for _, be := range l.BackEdge {
-			c += s.fr.Edge[be.ID]
-		}
-		if c > MaxCyclic {
-			c = MaxCyclic
-		}
-		s.cp[l.Header.ID] = c
-	}
-	// Whole function.
-	s.propagate(s.f.Entry, nil)
+	s.solve(&s.fr, s.cp, false)
 	s.prob = nil
 	return &s.fr
+}
+
+// refPropagate is the original propagation: scan every block of the
+// function and filter by loop membership. Kept verbatim as the oracle
+// behind ReferenceCompute.
+func (s *Solver) refPropagate(fr *Frequencies, cp []float64, head *ir.Block, region *dom.Loop) {
+	for _, b := range s.f.Blocks {
+		if region != nil && !region.Contains(b.ID) {
+			continue
+		}
+		var freqv float64
+		if b == head {
+			freqv = 1
+		} else {
+			for _, pe := range b.Preds {
+				if s.back[pe] || (region != nil && !region.Contains(pe.From.ID)) {
+					continue
+				}
+				freqv += fr.Edge[pe.ID]
+			}
+			if s.isHdr[b.ID] {
+				c := cp[b.ID]
+				if c > MaxCyclic {
+					c = MaxCyclic
+				}
+				freqv /= 1 - c
+			}
+		}
+		fr.Block[b.ID] = freqv
+		for _, se := range b.Succs {
+			p, known := s.edgeProb(se)
+			if !known {
+				fr.Edge[se.ID] = 0
+				continue
+			}
+			fr.Edge[se.ID] = freqv * p
+		}
+	}
+}
+
+// ReferenceCompute solves the same equations by the original
+// filter-every-block scan, into freshly allocated buffers. It exists as
+// the differential-testing oracle for Compute: the member-list solver
+// must match it bit-for-bit on every function (freq_diff_test.go), since
+// both run the identical floating-point operation sequence.
+func (s *Solver) ReferenceCompute(prob BranchProbFunc) *Frequencies {
+	s.prob = prob
+	fr := &Frequencies{
+		Block: make([]float64, len(s.f.Blocks)),
+		Edge:  make([]float64, len(s.f.Edges)),
+	}
+	cp := make([]float64, len(s.f.Blocks))
+	s.solve(fr, cp, true)
+	s.prob = nil
+	return fr
 }
 
 // Compute solves the frequency equations for f given per-branch

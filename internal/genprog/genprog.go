@@ -1,0 +1,176 @@
+// Package genprog deterministically generates large synthetic Mini
+// programs for benchmarking the analysis at sizes the hand-written corpus
+// does not reach. The hand corpus tops out under 5k IR instructions; the
+// lattice and scaling benchmarks need a ≥10k-instruction tier to show
+// whether the interner's wall-time win survives table sizes that no
+// longer fit comfortably in cache.
+//
+// The generated shape is deliberately adversarial for the range lattice:
+//
+//   - Diamond-heavy bodies: chains of if/else over modular and relational
+//     conditions, so nearly every block ends in a two-way φ merge and the
+//     comparison Bool/Refine paths run constantly.
+//   - Deep loops: constant-bounded for nests (LoopDepth levels), so
+//     loop-header φs, widening, and the frequency solver's cyclic
+//     probabilities all engage.
+//   - Cross-kernel calls: a thin call chain between kernels keeps the
+//     interprocedural driver honest without exploding pass counts.
+//
+// Determinism is absolute, not best-effort: the generator uses its own
+// splitmix64 stream, so a (Config, seed) pair produces byte-identical
+// source on every platform and Go release forever. BENCH_lattice.json
+// points generated from it are therefore comparable across runs.
+package genprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a splitmix64 stream: tiny, well-mixed, and stable by
+// construction (unlike math/rand, whose sequences are outside the Go 1
+// compatibility promise).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Config shapes one generated program.
+type Config struct {
+	Seed      uint64
+	Funcs     int // kernel function count
+	Diamonds  int // if/else diamonds in each innermost loop body
+	LoopDepth int // for-loop nesting depth per kernel
+}
+
+// Default is the configuration behind the benchmark tier: it compiles to
+// ≥10k IR instructions (pinned by TestDefaultSize).
+func Default() Config {
+	return Config{Seed: 0x5eed, Funcs: 56, Diamonds: 6, LoopDepth: 3}
+}
+
+type gen struct {
+	r      rng
+	b      strings.Builder
+	indent int
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// diamond emits one if/else over the two kernel locals. Every arm writes
+// at least one local, so the join is a real φ for the engine and a real
+// two-way weighted merge for the lattice.
+func (g *gen) diamond() {
+	c := g.r.intn(7) + 2
+	k := g.r.intn(17) - 8
+	switch g.r.intn(4) {
+	case 0:
+		g.w("if (x %% %d == %d) {", c, g.r.intn(c))
+		g.indent++
+		g.w("x += y * 2;")
+		g.indent--
+		g.w("} else {")
+		g.indent++
+		g.w("x -= (y + %d);", c)
+		g.indent--
+		g.w("}")
+	case 1:
+		g.w("if (y < x) {")
+		g.indent++
+		g.w("y += %d;", c)
+		g.indent--
+		g.w("} else {")
+		g.indent++
+		g.w("y = x - y;")
+		g.indent--
+		g.w("}")
+	case 2:
+		g.w("if (x > %d) {", k)
+		g.indent++
+		g.w("x = (x %% %d) + y;", c+4)
+		g.indent--
+		g.w("} else {")
+		g.indent++
+		g.w("x += %d;", c)
+		g.indent--
+		g.w("}")
+	default:
+		g.w("if (y >= %d) {", k)
+		g.indent++
+		g.w("y -= (x %% %d);", c)
+		g.indent--
+		g.w("} else {")
+		g.indent++
+		g.w("y += x + %d;", c)
+		g.indent--
+		g.w("}")
+	}
+}
+
+// kernel emits one function f<i>(a, b): a LoopDepth-deep for nest whose
+// innermost body is a chain of diamonds, with a thin call back to the
+// previous kernel every fourth function.
+func (g *gen) kernel(i int, cfg Config) {
+	g.w("func f%d(a, b) {", i)
+	g.indent++
+	g.w("var x = a + %d;", g.r.intn(21)-10)
+	g.w("var y = b - %d;", g.r.intn(11))
+	if i > 0 && i%4 == 0 {
+		g.w("y += f%d(x, %d);", i-1, g.r.intn(5))
+	}
+	for d := 0; d < cfg.LoopDepth; d++ {
+		g.w("for (var i%d = 0; i%d < %d; i%d += %d) {",
+			d, d, g.r.intn(7)+3, d, g.r.intn(2)+1)
+		g.indent++
+	}
+	for n := 0; n < cfg.Diamonds; n++ {
+		g.diamond()
+	}
+	g.w("x = (x %% 1024 + 1024) %% 1024;")
+	for d := 0; d < cfg.LoopDepth; d++ {
+		g.indent--
+		g.w("}")
+	}
+	g.w("if (x > y) {")
+	g.indent++
+	g.w("return x - y;")
+	g.indent--
+	g.w("}")
+	g.w("return y - x;")
+	g.indent--
+	g.w("}")
+}
+
+// Source renders the program for cfg. Same cfg, same bytes.
+func Source(cfg Config) string {
+	g := &gen{r: rng{s: cfg.Seed}}
+	for i := 0; i < cfg.Funcs; i++ {
+		g.kernel(i, cfg)
+	}
+	g.w("func main() {")
+	g.indent++
+	g.w("var s = input();")
+	g.w("var t = 0;")
+	for i := 0; i < cfg.Funcs; i++ {
+		if i%2 == 0 {
+			g.w("t += f%d(s, t);", i)
+		} else {
+			g.w("t += f%d(t, s %% %d);", i, g.r.intn(9)+2)
+		}
+	}
+	g.w("print(t);")
+	g.indent--
+	g.w("}")
+	return g.b.String()
+}

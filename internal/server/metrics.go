@@ -54,6 +54,13 @@ type serverMetrics struct {
 	funcsRun      *metrics.Counter // vrpd_lattice_funcs_analyzed_total
 	funcsSkipped  *metrics.Counter // vrpd_lattice_funcs_skipped_total
 	funcsDegraded *metrics.Counter // vrpd_lattice_funcs_degraded_total
+
+	// Interner economics of the most recent analysis (gauges: live-entry
+	// and arena footprints are states, not flows) plus the cumulative
+	// epoch-eviction count.
+	internLive      *metrics.Gauge // vrpd_lattice_intern_live_entries
+	internArena     *metrics.Gauge // vrpd_lattice_intern_arena_bytes
+	internEvictions *metrics.Gauge // vrpd_lattice_intern_evictions_total
 }
 
 // latencyBuckets spans sub-millisecond cache hits to multi-second
@@ -97,6 +104,10 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		funcsRun:      reg.Counter("vrpd_lattice_funcs_analyzed_total", "Per-function engine runs across all analyses."),
 		funcsSkipped:  reg.Counter("vrpd_lattice_funcs_skipped_total", "Engine runs elided by the driver's dirty-set skip."),
 		funcsDegraded: reg.Counter("vrpd_lattice_funcs_degraded_total", "Engine runs degraded to the bottom/heuristic fallback."),
+
+		internLive:      reg.Gauge("vrpd_lattice_intern_live_entries", "Live hash-cons representatives in the last analysis's tables (pooled tables carry entries across runs)."),
+		internArena:     reg.Gauge("vrpd_lattice_intern_arena_bytes", "Arena slab bytes backing interned representatives in the last analysis's tables."),
+		internEvictions: reg.Gauge("vrpd_lattice_intern_evictions_total", "Lifetime memo/table entries evicted by epoch resets in the last analysis's tables."),
 	}
 
 	// Scrape-time ratios, derived from the raw counters so they can never
@@ -144,5 +155,8 @@ func (m *serverMetrics) observeSnapshot(s *telemetry.Snapshot) {
 	m.funcsRun.Add(t.Runs)
 	m.funcsSkipped.Add(t.Skips)
 	m.funcsDegraded.Add(t.Degraded)
+	m.internLive.Set(float64(s.InternLive))
+	m.internArena.Set(float64(s.InternArenaBytes))
+	m.internEvictions.Set(float64(s.InternEvictions))
 	m.passes.Observe(float64(s.Passes))
 }

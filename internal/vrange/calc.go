@@ -61,11 +61,17 @@ type Calc struct {
 	Widens int64
 
 	// Intern and memo traffic of this Calc's lifetime (one engine run in
-	// the driver), folded into telemetry by the caller.
-	InternHits   int64
-	InternMisses int64
-	MemoHits     int64
-	MemoMisses   int64
+	// the driver), folded into telemetry by the caller. ConfirmSkips
+	// counts intern lookups resolved without a range-by-range confirm walk
+	// (exact-key fast tables and empty-slot misses); MergeMemoHits/Misses
+	// count the loop-header φ merge memo.
+	InternHits      int64
+	InternMisses    int64
+	MemoHits        int64
+	MemoMisses      int64
+	ConfirmSkips    int64
+	MergeMemoHits   int64
+	MergeMemoMisses int64
 
 	// in is the hash-cons table; nil when Cfg.DisableIntern is set.
 	in *Interner
@@ -161,12 +167,23 @@ func (c *Calc) Canonicalize(v Value) Value {
 		}
 	}
 	sortRangesStable(rs)
-	// Merge identical ranges.
+	// Merge identical ranges, accumulating the cons-table fingerprint over
+	// the emitted ranges as they become final (fused hashing). In the
+	// common case — no duplicate merges, no cap merges — the walk below is
+	// the only pass over the final ranges; the probabilities are final here
+	// because renormalization already ran. A merge mutates an emitted
+	// range, so it forces a recompute of the digest at the end.
+	hashing := c.in != nil
+	h := fpInit
 	out := rs[:0]
 	for _, r := range rs {
 		if n := len(out); n > 0 && out[n-1].Lo == r.Lo && out[n-1].Hi == r.Hi && out[n-1].Stride == r.Stride {
 			out[n-1].Prob += r.Prob
+			hashing = false
 			continue
+		}
+		if hashing {
+			h = fpFoldRange(h, r)
 		}
 		out = append(out, r)
 	}
@@ -174,6 +191,7 @@ func (c *Calc) Canonicalize(v Value) Value {
 	// Cap at MaxRanges by repeatedly merging the cheapest compatible pair.
 	for len(rs) > c.Cfg.MaxRanges {
 		c.Widens++
+		hashing = false
 		i, j, ok := c.cheapestMergePair(rs)
 		if !ok {
 			return BottomValue()
@@ -185,7 +203,16 @@ func (c *Calc) Canonicalize(v Value) Value {
 		rs[i] = merged
 		rs = append(rs[:j], rs[j+1:]...)
 	}
-	return c.intern(Value{kind: Set, Ranges: rs})
+	if c.in == nil {
+		return c.intern(Value{kind: Set, Ranges: rs})
+	}
+	if !hashing {
+		h = fpInit
+		for _, r := range rs {
+			h = fpFoldRange(h, r)
+		}
+	}
+	return c.internFused(Value{kind: Set, Ranges: rs}, fpFinish(h, Set, len(rs)))
 }
 
 // sortRangesStable is a stable insertion sort under rangeLess. Range sets
@@ -328,12 +355,14 @@ type Weighted struct {
 // not yet executable or not yet evaluated — the optimistic SCCP rule); a
 // ⊥ operand on an executable edge forces ⊥.
 //
-// Merges are not memoized: the weights are edge probabilities that drift
-// on nearly every propagation step, so a (ids, weights) cache almost never
-// hits while paying an operand-copy allocation per miss — measured as the
-// single largest allocator of the whole analysis before it was removed.
-// The result still goes through Canonicalize → intern, so repeated merges
-// of the same operands return the same representative without allocating.
+// General merges are not memoized: the weights are edge probabilities that
+// drift on nearly every propagation step, so a (ids, weights) cache almost
+// never hits while paying an operand-copy allocation per miss — measured
+// as the single largest allocator of the whole analysis before it was
+// removed. The result still goes through Canonicalize → intern, so
+// repeated merges of the same operands return the same representative
+// without allocating. Loop-header φs, whose weights do stabilize, get the
+// exact-key memo of MergeLoopHeader (intern.go).
 func (c *Calc) Merge(items []Weighted) Value {
 	totalW := 0.0
 	for _, it := range items {

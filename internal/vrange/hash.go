@@ -69,29 +69,56 @@ func (v Value) Fingerprint() uint64 { return fingerprintValue(v) }
 // never unifies them. The hook costs one nil check on the hot path.
 var testFingerprintHook func(Value) (uint64, bool)
 
-// fingerprintValue is the allocation-free fingerprint used by the cons
-// table: the same encoding as Hasher.Add, accumulated in a local.
+// The cons-table fingerprint folds the ranges first and the (kind, length)
+// header last — the same trick HashBytes uses for its length. Folding the
+// header last is what makes fused hashing possible: Canonicalize can
+// accumulate fpFoldRange over ranges as it emits them, before the final
+// count is known, and close the digest with one fpFinish call. (Hasher
+// keeps its header-first encoding; nothing requires the two streams to
+// match, and reordering the multi-value input-vector hash would buy
+// nothing.)
+
+// fpInit is the fingerprint accumulator's initial state.
+const fpInit = uint64(fnvOffset)
+
+// fpFoldRange folds one range into a fingerprint accumulator.
+func fpFoldRange(h uint64, r Range) uint64 {
+	h = (h ^ mix64(math.Float64bits(r.Prob))) * fnvPrime
+	h = (h ^ mix64(uint64(int64(r.Lo.Var)))) * fnvPrime
+	h = (h ^ mix64(uint64(r.Lo.Const))) * fnvPrime
+	h = (h ^ mix64(uint64(int64(r.Hi.Var)))) * fnvPrime
+	h = (h ^ mix64(uint64(r.Hi.Const))) * fnvPrime
+	h = (h ^ mix64(uint64(r.Stride))) * fnvPrime
+	return h
+}
+
+// fpFinish closes a fingerprint with the kind and range count, so prefix
+// range sequences cannot collide with their extensions.
+func fpFinish(h uint64, kind Kind, n int) uint64 {
+	h = (h ^ mix64(uint64(kind))) * fnvPrime
+	h = (h ^ mix64(uint64(n))) * fnvPrime
+	return h
+}
+
+// fingerprintRaw is the allocation-free fingerprint used by the cons
+// table, ignoring the test hook (probeFP applies it once, centrally).
+func fingerprintRaw(v Value) uint64 {
+	h := fpInit
+	for _, r := range v.Ranges {
+		h = fpFoldRange(h, r)
+	}
+	return fpFinish(h, v.kind, len(v.Ranges))
+}
+
+// fingerprintValue is fingerprintRaw behind the test hook, for the public
+// Fingerprint accessor.
 func fingerprintValue(v Value) uint64 {
 	if testFingerprintHook != nil {
 		if fp, ok := testFingerprintHook(v); ok {
 			return fp
 		}
 	}
-	h := uint64(fnvOffset)
-	mix := func(w uint64) {
-		h = (h ^ mix64(w)) * fnvPrime
-	}
-	mix(uint64(v.kind))
-	mix(uint64(len(v.Ranges)))
-	for _, r := range v.Ranges {
-		mix(math.Float64bits(r.Prob))
-		mix(uint64(int64(r.Lo.Var)))
-		mix(uint64(r.Lo.Const))
-		mix(uint64(int64(r.Hi.Var)))
-		mix(uint64(r.Hi.Const))
-		mix(uint64(r.Stride))
-	}
-	return h
+	return fingerprintRaw(v)
 }
 
 // HashValues fingerprints a value vector without allocating — the driver's

@@ -1,7 +1,9 @@
 package vrange
 
 import (
+	"math"
 	"sync/atomic"
+	"unsafe"
 
 	"vrp/internal/ir"
 )
@@ -12,6 +14,26 @@ import (
 // walk to a single integer comparison — the fixed-point change detectors
 // in the propagation engine and the driver's dirty-set test run this
 // comparison millions of times per analysis.
+//
+// The produce side is built so that interning is also a wall-time win, not
+// just an allocation win:
+//
+//   - Representatives' Ranges arrays are carved from per-Interner arena
+//     slabs (valueArena) instead of individual make calls, and the slabs
+//     are recycled across epochs (Reset), so the steady-state intern path
+//     performs zero heap allocations.
+//   - The cons table is open-addressed with a parallel tag-byte array: a
+//     probe touches one byte per non-matching slot, the full 64-bit
+//     fingerprint plus a kind/length header gate the range walk, and
+//     genuine 64-bit fingerprint collisions spill into a lazily created
+//     overflow map so a collision can never unify two values.
+//   - The hottest shapes — single-point probability-1 values (constants,
+//     symbols) and the two-point boolean of comparisons — bypass hashing
+//     entirely through exact-content-keyed side tables, where the key *is*
+//     the content and therefore no BitEqual confirm is needed at all.
+//     ("Skip the confirm when the table is collision-free" is unsound as
+//     stated — collision-freedom is only known after confirming — so the
+//     fast path instead uses keys for which confirmation is vacuous.)
 //
 // Soundness rules:
 //
@@ -26,15 +48,15 @@ import (
 //     implies bit equality, while id inequality implies nothing (the same
 //     content interned in two tables carries two ids, and the equality
 //     functions fall back to the structural walk).
-//   - The table key is the 64-bit FNV-1a fingerprint, but every lookup is
-//     confirmed with BitEqual before a representative is reused: a hash
-//     collision costs a bucket scan, never a wrong unification
+//   - Every fingerprint-table lookup is confirmed (header + range walk)
+//     before a representative is reused: a hash collision costs an
+//     overflow-bucket scan, never a wrong unification
 //     (TestForcedCollisionNotUnified pins this).
 //
 // An Interner must not be shared between concurrently running engines: the
-// driver keeps one per call-graph SCC, owned by whichever worker holds the
-// SCC during the current wave (wave barriers give the required
-// happens-before between passes).
+// driver keeps one per worker slot, owned by the goroutine spawned for
+// that slot during the current wave (wave barriers give the required
+// happens-before for the epoch hand-off between waves and passes).
 
 // Reserved ids for the three contentless lattice values, assigned by their
 // constructors so even never-interned code gets the id fast path on them.
@@ -49,6 +71,85 @@ const (
 var idCounter atomic.Uint64
 
 func init() { idCounter.Store(reservedIDs) }
+
+// ---------------------------------------------------------------- arena
+
+// Arena chunk sizing: chunks start small (most functions intern a few
+// hundred ranges) and double up to the cap, so big analyses amortize the
+// chunk allocation while small ones stay cheap.
+const (
+	arenaMinChunk = 256
+	arenaMaxChunk = 4096
+)
+
+// rangeBytes is the in-memory size of one Range, for the footprint gauge.
+var rangeBytes = int64(unsafe.Sizeof(Range{}))
+
+// valueArena hands out Range backing arrays for interned representatives
+// from append-only slabs. Carved slices are full (len == cap), so an
+// accidental append by a caller copies instead of clobbering a neighbour.
+// reset recycles all slabs for the next epoch; it is only legal when no
+// Value carved from the current epoch is still in use, since recycled
+// memory will be overwritten.
+type valueArena struct {
+	cur   []Range   // current slab being carved
+	used  int       // carve offset into cur
+	full  [][]Range // exhausted slabs of the current epoch
+	free  [][]Range // recycled slabs from prior epochs
+	next  int       // size of the next fresh slab
+	bytes int64     // total bytes held across all slabs (footprint)
+}
+
+// alloc carves an owned, full-capacity slice of n ranges.
+func (a *valueArena) alloc(n int) []Range {
+	if n > len(a.cur)-a.used {
+		a.grab(n)
+	}
+	s := a.cur[a.used : a.used+n : a.used+n]
+	a.used = a.used + n
+	return s
+}
+
+// grab installs a slab with room for at least n ranges, preferring a
+// recycled one.
+func (a *valueArena) grab(n int) {
+	if a.cur != nil {
+		a.full = append(a.full, a.cur)
+		a.cur = nil
+	}
+	a.used = 0
+	if k := len(a.free); k > 0 && len(a.free[k-1]) >= n {
+		a.cur = a.free[k-1]
+		a.free = a.free[:k-1]
+		return
+	}
+	sz := a.next
+	if sz < arenaMinChunk {
+		sz = arenaMinChunk
+	}
+	if sz > arenaMaxChunk {
+		sz = arenaMaxChunk
+	}
+	if sz < n {
+		sz = n
+	}
+	a.next = sz * 2
+	a.cur = make([]Range, sz)
+	a.bytes += int64(sz) * rangeBytes
+}
+
+// reset recycles every slab for reuse in the next epoch.
+func (a *valueArena) reset() {
+	if a.cur != nil {
+		a.free = append(a.free, a.cur)
+		a.cur = nil
+	}
+	a.free = append(a.free, a.full...)
+	a.full = a.full[:0]
+	a.used = 0
+}
+
+// ---------------------------------------------------------------- memo
 
 // memoKey identifies one fixed-arity transfer-function application by the
 // interned ids of its operands. Ids globally identify content, so an exact
@@ -75,100 +176,467 @@ type memoEntry struct {
 	widens int64
 }
 
-// memoCap bounds each memo table. When a table fills up it is dropped and
-// rebuilt from empty (epoch eviction): O(1) bookkeeping, no recency
-// tracking on the hot path, and the steady-state working set of a
+// memoCap bounds the live entries of the transfer-function memo. When the
+// table fills up it is cleared (epoch eviction): O(1) bookkeeping, no
+// recency tracking on the hot path, and the steady-state working set of a
 // function's fixpoint easily fits. Eviction only ever costs recomputation.
-const memoCap = 1 << 14
+const (
+	memoCap       = 1 << 14
+	memoInitSlots = 256
+	memoMaxSlots  = 1 << 15 // ≤50% load at memoCap
+)
 
-// Interner is a hash-cons table plus the transfer-function memo cache
-// keyed on interned ids. The zero value is not ready; use NewInterner.
-//
-// The table stores the first representative of each fingerprint inline in
-// the map, so the common miss (a fresh fingerprint) costs only the ranges
-// copy and an amortized map insert — no per-entry bucket slice. Genuine
-// 64-bit fingerprint collisions are vanishingly rare; they spill into the
-// lazily created overflow map.
+type memoSlot struct {
+	key memoKey
+	ent memoEntry
+}
+
+// mergeKey identifies a two-operand loop-header φ merge exactly: operand
+// ids plus the raw bit patterns of the in-edge weights. Exact keys make a
+// hit provably identical to a recomputation.
+type mergeKey struct {
+	a, b   uint64 // operand ids, in φ-operand order
+	wa, wb uint64 // Float64bits of the edge weights
+}
+
+// mergeMemoCap bounds the loop-header merge memo (same epoch-eviction
+// policy as the transfer-function memo; loop headers are few, so this is
+// rarely reached).
+const mergeMemoCap = 1 << 12
+
+// ---------------------------------------------------------------- tables
+
+// tagOf derives the one-byte probe tag from a fingerprint: seven high bits
+// plus a forced marker bit so a tag is never 0 (empty).
+func tagOf(fp uint64) uint8 { return uint8(fp>>57) | 0x80 }
+
+// internSlot is one open-addressed cons-table entry: the full fingerprint
+// (re-derivable from val, but stored so probes never rehash) and the
+// representative.
+type internSlot struct {
+	fp  uint64
+	val Value
+}
+
+const internInitSlots = 256
+
+// boolKey is the exact content of the two-point boolean shape
+// {q[0:0:0], p[1:1:0]}: the raw probability bits. Two boolean values are
+// bit-equal iff their keys are equal, so the bools table needs no confirm.
+type boolKey struct{ q, p uint64 }
+
+// oneProbBits is the bit pattern of probability 1, the exactness gate for
+// the single-point fast path (a point whose probability merely rounds to 1
+// must not unify with an exact one).
+var oneProbBits = math.Float64bits(1)
+
+// Interner is a hash-cons table plus the transfer-function and loop-header
+// merge memo caches keyed on interned ids. The zero value is not ready;
+// use NewInterner.
 type Interner struct {
-	table    map[uint64]Value
-	overflow map[uint64][]Value // further values per colliding fingerprint
-	memo     map[memoKey]memoEntry
+	// Open-addressed fingerprint table: tags[i] == 0 means slot i is
+	// empty; otherwise tags[i] == tagOf(slots[i].fp). Linear probing,
+	// power-of-two capacity, grown at ¾ load. Lookups stop at the first
+	// slot whose full fingerprint matches: later values with the same
+	// fingerprint always live in overflow.
+	tags  []uint8
+	slots []internSlot
+	mask  uint64
+	live  int // occupied slots
+	grow  int // live threshold that triggers doubling
 
-	memoSize int // entries across memo
+	overflow map[uint64][]Value // extra values per truly colliding fingerprint
+
+	// Exact-content-keyed fast tables for the hottest shapes; see the
+	// package comment on why these may skip the BitEqual confirm.
+	points map[Bound]Value   // {1[b:b:0]} — constants, symbols, refined points
+	bools  map[boolKey]Value // {q[0:0:0], p[1:1:0]} — comparison results
+
+	// Transfer-function memo, open-addressed like the cons table.
+	memoTags  []uint8
+	memoSlots []memoSlot
+	memoMask  uint64
+	memoLive  int
+	memoGrow  int
+
+	merge map[mergeKey]memoEntry // loop-header φ merge memo
+
+	ar valueArena
+
+	epoch     uint64
+	evictions int64 // entries dropped by memo epoch evictions and Reset
 }
 
 // NewInterner returns an empty cons table.
 func NewInterner() *Interner {
-	return &Interner{
-		table: make(map[uint64]Value),
-		memo:  make(map[memoKey]memoEntry),
+	return NewInternerSized(0)
+}
+
+// NewInternerSized returns an empty cons table pre-sized for roughly hint
+// live values. Growing an open-addressed table is an allocate-and-rehash
+// of every occupied slot, and a table that starts at the minimum size pays
+// that cost log2(n/min) times per analysis; a caller that can bound the
+// value population up front (the driver knows the program's instruction
+// count) skips all of it. The hint is a capacity, not a limit — an
+// undersized table still grows normally.
+func NewInternerSized(hint int) *Interner {
+	it := &Interner{
+		points: make(map[Bound]Value, 64),
+		bools:  make(map[boolKey]Value, 16),
+		merge:  make(map[mergeKey]memoEntry, 16),
+	}
+	it.initTable(sizeFor(hint+hint/3, internInitSlots, 1<<17))
+	it.initMemo(sizeFor(hint, memoInitSlots, memoMaxSlots))
+	return it
+}
+
+// sizeFor rounds want up to a power of two within [min, max]. min and max
+// must themselves be powers of two.
+func sizeFor(want, min, max int) int {
+	n := min
+	for n < want && n < max {
+		n <<= 1
+	}
+	return n
+}
+
+func (it *Interner) initTable(n int) {
+	it.tags = make([]uint8, n)
+	it.slots = make([]internSlot, n)
+	it.mask = uint64(n - 1)
+	it.grow = n - n/4
+}
+
+func (it *Interner) initMemo(n int) {
+	it.memoTags = make([]uint8, n)
+	it.memoSlots = make([]memoSlot, n)
+	it.memoMask = uint64(n - 1)
+	it.memoGrow = n - n/4
+	if it.memoGrow > memoCap {
+		it.memoGrow = memoCap
+	}
+}
+
+// growTable doubles the cons table and rehashes the occupied slots.
+func (it *Interner) growTable() {
+	oldTags, oldSlots := it.tags, it.slots
+	it.initTable(len(oldSlots) * 2)
+	for idx, t := range oldTags {
+		if t == 0 {
+			continue
+		}
+		s := oldSlots[idx]
+		i := s.fp & it.mask
+		for it.tags[i] != 0 {
+			i = (i + 1) & it.mask
+		}
+		it.tags[i] = t
+		it.slots[i] = s
 	}
 }
 
 // intern returns the canonical representative of v, creating one (with a
-// fresh global id and an owned copy of the ranges) on first sight. v's
-// Ranges may alias caller scratch: they are only read, and copied on miss.
-func (it *Interner) intern(v Value, hits, misses *int64) Value {
+// fresh global id and an arena-owned copy of the ranges) on first sight.
+// v's Ranges may alias caller scratch: they are only read, and copied on a
+// miss. skips counts lookups resolved without a range-by-range confirm.
+func (it *Interner) intern(v Value, hits, misses, skips *int64) Value {
 	if v.id != 0 {
 		return v // already a representative
 	}
-	fp := fingerprintValue(v)
-	first, occupied := it.table[fp]
-	if occupied {
-		if first.BitEqual(v) {
-			*hits++
-			return first
+	if r, ok := it.fastShape(v, hits, misses, skips); ok {
+		return r
+	}
+	return it.probeFP(v, fingerprintRaw(v), hits, misses, skips)
+}
+
+// internFP is intern for callers that already hold the fingerprint (the
+// fused hash accumulated during Canonicalize).
+func (it *Interner) internFP(v Value, fp uint64, hits, misses, skips *int64) Value {
+	if v.id != 0 {
+		return v
+	}
+	if r, ok := it.fastShape(v, hits, misses, skips); ok {
+		return r
+	}
+	return it.probeFP(v, fp, hits, misses, skips)
+}
+
+// fastShape routes the exact-content-keyed shapes around the fingerprint
+// table. The guards are exact (bit patterns, not tolerances): a key match
+// implies bit equality by construction.
+func (it *Interner) fastShape(v Value, hits, misses, skips *int64) (Value, bool) {
+	if v.kind != Set {
+		return Value{}, false
+	}
+	switch len(v.Ranges) {
+	case 1:
+		r := v.Ranges[0]
+		if r.Lo == r.Hi && r.Stride == 0 && math.Float64bits(r.Prob) == oneProbBits {
+			return it.internPoint(r.Lo, hits, misses, skips), true
 		}
-		for _, cand := range it.overflow[fp] {
-			if cand.BitEqual(v) {
-				*hits++
-				return cand
-			}
+	case 2:
+		if k, ok := boolKeyOf(v.Ranges); ok {
+			return it.internBool(k, hits, misses, skips), true
 		}
+	}
+	return Value{}, false
+}
+
+// boolKeyOf recognizes the canonical boolean shape {q[0:0:0], p[1:1:0]}.
+func boolKeyOf(rs []Range) (boolKey, bool) {
+	r0, r1 := rs[0], rs[1]
+	zero, one := Num(0), Num(1)
+	if r0.Lo != zero || r0.Hi != zero || r0.Stride != 0 ||
+		r1.Lo != one || r1.Hi != one || r1.Stride != 0 {
+		return boolKey{}, false
+	}
+	return boolKey{q: math.Float64bits(r0.Prob), p: math.Float64bits(r1.Prob)}, true
+}
+
+// internPoint interns {1[b:b:0]} through the exact-key side table.
+func (it *Interner) internPoint(b Bound, hits, misses, skips *int64) Value {
+	*skips++ // key == content: no confirm walk, by construction
+	if v, ok := it.points[b]; ok {
+		*hits++
+		return v
 	}
 	*misses++
-	owned := Value{
-		kind: v.kind,
-		id:   idCounter.Add(1),
+	rs := it.ar.alloc(1)
+	rs[0] = Point(1, b)
+	v := Value{kind: Set, Ranges: rs, id: idCounter.Add(1)}
+	it.points[b] = v
+	return v
+}
+
+// internBool interns the boolean shape through the exact-key side table.
+func (it *Interner) internBool(k boolKey, hits, misses, skips *int64) Value {
+	*skips++
+	if v, ok := it.bools[k]; ok {
+		*hits++
+		return v
 	}
-	if len(v.Ranges) > 0 {
-		owned.Ranges = append(make([]Range, 0, len(v.Ranges)), v.Ranges...)
-	}
-	if occupied {
-		if it.overflow == nil {
-			it.overflow = make(map[uint64][]Value)
+	*misses++
+	rs := it.ar.alloc(2)
+	rs[0] = Point(math.Float64frombits(k.q), Num(0))
+	rs[1] = Point(math.Float64frombits(k.p), Num(1))
+	v := Value{kind: Set, Ranges: rs, id: idCounter.Add(1)}
+	it.bools[k] = v
+	return v
+}
+
+// probeFP is the general cons-table path: tag-byte linear probing on the
+// fingerprint, header (kind, length) rejection, then the range walk only
+// on a surviving candidate.
+func (it *Interner) probeFP(v Value, fp uint64, hits, misses, skips *int64) Value {
+	if testFingerprintHook != nil {
+		if hfp, ok := testFingerprintHook(v); ok {
+			fp = hfp
 		}
-		it.overflow[fp] = append(it.overflow[fp], owned)
-	} else {
-		it.table[fp] = owned
+	}
+	tag := tagOf(fp)
+	i := fp & it.mask
+	walked := false
+	for {
+		t := it.tags[i]
+		if t == 0 {
+			break // fingerprint not present: fresh miss, slot i is the hole
+		}
+		if t == tag && it.slots[i].fp == fp {
+			cand := it.slots[i].val
+			if cand.kind == v.kind && len(cand.Ranges) == len(v.Ranges) {
+				walked = true
+				if rangesBitEqual(cand.Ranges, v.Ranges) {
+					*hits++
+					return cand
+				}
+			}
+			for _, c2 := range it.overflow[fp] {
+				if c2.kind == v.kind && len(c2.Ranges) == len(v.Ranges) {
+					walked = true
+					if rangesBitEqual(c2.Ranges, v.Ranges) {
+						*hits++
+						return c2
+					}
+				}
+			}
+			// True 64-bit collision: the new representative joins the
+			// overflow bucket; the inline slot keeps its first owner.
+			*misses++
+			if !walked {
+				*skips++
+			}
+			owned := it.own(v)
+			if it.overflow == nil {
+				it.overflow = make(map[uint64][]Value)
+			}
+			it.overflow[fp] = append(it.overflow[fp], owned)
+			return owned
+		}
+		i = (i + 1) & it.mask
+	}
+	*misses++
+	if !walked {
+		*skips++ // resolved by an empty slot: no confirm walk ran
+	}
+	owned := it.own(v)
+	if it.live >= it.grow {
+		it.growTable()
+		i = fp & it.mask
+		for it.tags[i] != 0 {
+			i = (i + 1) & it.mask
+		}
+	}
+	it.tags[i] = tag
+	it.slots[i] = internSlot{fp: fp, val: owned}
+	it.live++
+	return owned
+}
+
+// own copies v into an arena-backed representative with a fresh id.
+func (it *Interner) own(v Value) Value {
+	owned := Value{kind: v.kind, id: idCounter.Add(1)}
+	if len(v.Ranges) > 0 {
+		dst := it.ar.alloc(len(v.Ranges))
+		copy(dst, v.Ranges)
+		owned.Ranges = dst
 	}
 	return owned
 }
 
+// rangesBitEqual is the confirm walk over equal-length range slices.
+func rangesBitEqual(a, b []Range) bool {
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Lo != y.Lo || x.Hi != y.Hi || x.Stride != y.Stride ||
+			math.Float64bits(x.Prob) != math.Float64bits(y.Prob) {
+			return false
+		}
+	}
+	return true
+}
+
+// memoHash spreads a memo key over 64 bits; ids are dense small integers,
+// so both words go through the finalizer.
+func memoHash(k memoKey) uint64 {
+	return mix64(k.a ^ mix64(k.b^uint64(k.op)<<32))
+}
+
 // memoGet looks up a fixed-arity transfer-function application.
 func (it *Interner) memoGet(k memoKey) (memoEntry, bool) {
-	e, ok := it.memo[k]
+	h := memoHash(k)
+	tag := tagOf(h)
+	i := h & it.memoMask
+	for {
+		t := it.memoTags[i]
+		if t == 0 {
+			return memoEntry{}, false
+		}
+		if t == tag && it.memoSlots[i].key == k {
+			return it.memoSlots[i].ent, true
+		}
+		i = (i + 1) & it.memoMask
+	}
+}
+
+// memoPut stores a fixed-arity result, growing the table up to its cap and
+// epoch-evicting beyond it. Stale slots left behind by an eviction are
+// unreachable (probes are gated by the cleared tags) and get overwritten
+// as the table refills.
+func (it *Interner) memoPut(k memoKey, e memoEntry) {
+	if it.memoLive >= it.memoGrow {
+		if len(it.memoSlots) < memoMaxSlots {
+			it.growMemo()
+		} else {
+			it.evictions += int64(it.memoLive)
+			clear(it.memoTags)
+			it.memoLive = 0
+		}
+	}
+	h := memoHash(k)
+	i := h & it.memoMask
+	for it.memoTags[i] != 0 {
+		i = (i + 1) & it.memoMask
+	}
+	it.memoTags[i] = tagOf(h)
+	it.memoSlots[i] = memoSlot{key: k, ent: e}
+	it.memoLive++
+}
+
+func (it *Interner) growMemo() {
+	oldTags, oldSlots := it.memoTags, it.memoSlots
+	it.initMemo(len(oldSlots) * 2)
+	for idx, t := range oldTags {
+		if t == 0 {
+			continue
+		}
+		s := oldSlots[idx]
+		i := memoHash(s.key) & it.memoMask
+		for it.memoTags[i] != 0 {
+			i = (i + 1) & it.memoMask
+		}
+		it.memoTags[i] = t
+		it.memoSlots[i] = s
+	}
+}
+
+// mergeGet looks up a loop-header φ merge.
+func (it *Interner) mergeGet(k mergeKey) (memoEntry, bool) {
+	e, ok := it.merge[k]
 	return e, ok
 }
 
-// memoPut stores a fixed-arity result, evicting the whole table when full.
-func (it *Interner) memoPut(k memoKey, e memoEntry) {
-	if it.memoSize >= memoCap {
-		it.memo = make(map[memoKey]memoEntry)
-		it.memoSize = 0
+// mergePut stores a loop-header φ merge, epoch-evicting at the cap.
+func (it *Interner) mergePut(k mergeKey, e memoEntry) {
+	if len(it.merge) >= mergeMemoCap {
+		it.evictions += int64(len(it.merge))
+		clear(it.merge)
 	}
-	it.memo[k] = e
-	it.memoSize++
+	it.merge[k] = e
 }
 
 // Size reports the number of distinct interned values (for benchmarks and
 // diagnostics).
 func (it *Interner) Size() int {
-	n := len(it.table)
+	n := it.live + len(it.points) + len(it.bools)
 	for _, bucket := range it.overflow {
 		n += len(bucket)
 	}
 	return n
+}
+
+// Live is Size under its telemetry name: the current epoch's distinct
+// interned values.
+func (it *Interner) Live() int { return it.Size() }
+
+// ArenaBytes reports the memory footprint of the arena slabs (all epochs'
+// recycled slabs included — the high-water mark of range storage).
+func (it *Interner) ArenaBytes() int64 { return it.ar.bytes }
+
+// Evictions reports the total entries dropped by memo epoch evictions and
+// Reset calls over the Interner's lifetime.
+func (it *Interner) Evictions() int64 { return it.evictions }
+
+// Epoch reports how many times the table has been Reset.
+func (it *Interner) Epoch() uint64 { return it.epoch }
+
+// Reset drops every interned value and memo entry and recycles the arena
+// slabs for a new epoch, keeping all table capacity. It is only legal when
+// no Value interned in the current epoch is still in use anywhere: the
+// recycled slabs will be overwritten, so a stale representative would see
+// its ranges change under it. The driver calls this only between analyses,
+// never within one.
+func (it *Interner) Reset() {
+	it.evictions += int64(it.Size()) + int64(it.memoLive) + int64(len(it.merge))
+	clear(it.tags)
+	it.live = 0
+	it.overflow = nil
+	clear(it.points)
+	clear(it.bools)
+	clear(it.memoTags)
+	it.memoLive = 0
+	clear(it.merge)
+	it.ar.reset()
+	it.epoch++
 }
 
 // ---------------------------------------------------------------- Calc API
@@ -189,18 +657,24 @@ func (c *Calc) intern(v Value) Value {
 		}
 		return Value{kind: Set, Ranges: append(make([]Range, 0, len(v.Ranges)), v.Ranges...)}
 	}
-	return c.in.intern(v, &c.InternHits, &c.InternMisses)
+	return c.in.intern(v, &c.InternHits, &c.InternMisses, &c.ConfirmSkips)
+}
+
+// internFused is intern for the fused-hash path: fp is the fingerprint
+// already accumulated while the ranges were built (Canonicalize). Only
+// called with a live interner and a nonempty Set.
+func (c *Calc) internFused(v Value, fp uint64) Value {
+	return c.in.internFP(v, fp, &c.InternHits, &c.InternMisses, &c.ConfirmSkips)
 }
 
 // ConstVal is the interned form of Const: the hot path for OpConst
-// evaluation and assertion constants, allocation-free on intern hits.
+// evaluation and assertion constants. It hits the exact-key point table
+// directly — no range build, no hash, no confirm.
 func (c *Calc) ConstVal(k int64) Value {
 	if c.in == nil {
 		return Const(k)
 	}
-	rs := c.small[:0]
-	rs = append(rs, Point(1, Num(k)))
-	return c.intern(Value{kind: Set, Ranges: rs})
+	return c.in.internPoint(Num(k), &c.InternHits, &c.InternMisses, &c.ConfirmSkips)
 }
 
 // SymbolicVal is the interned form of Symbolic; see ConstVal.
@@ -208,9 +682,7 @@ func (c *Calc) SymbolicVal(v ir.Reg) Value {
 	if c.in == nil {
 		return Symbolic(v)
 	}
-	rs := c.small[:0]
-	rs = append(rs, Point(1, Sym(v, 0)))
-	return c.intern(Value{kind: Set, Ranges: rs})
+	return c.in.internPoint(Sym(v, 0), &c.InternHits, &c.InternMisses, &c.ConfirmSkips)
 }
 
 // PointVal is the interned single-point value {1[b:b:0]}.
@@ -218,9 +690,7 @@ func (c *Calc) PointVal(b Bound) Value {
 	if c.in == nil {
 		return Value{kind: Set, Ranges: []Range{Point(1, b)}}
 	}
-	rs := c.small[:0]
-	rs = append(rs, Point(1, b))
-	return c.intern(Value{kind: Set, Ranges: rs})
+	return c.in.internPoint(b, &c.InternHits, &c.InternMisses, &c.ConfirmSkips)
 }
 
 // memoized wraps a fixed-arity transfer function: operands must both be
@@ -245,5 +715,35 @@ func (c *Calc) memoized(op uint32, a, b Value, compute func() Value) Value {
 	s0, w0 := c.SubOps, c.Widens
 	v := compute()
 	c.in.memoPut(k, memoEntry{result: v, subOps: c.SubOps - s0, widens: c.Widens - w0})
+	return v
+}
+
+// MergeLoopHeader is Merge for loop-header φs, memoized on the exact
+// operand ids and weight bit patterns. The general Merge is deliberately
+// not memoized — φ edge weights drift on nearly every propagation step, so
+// a cache almost never hits — but loop-header weights freeze once their
+// loop's frequencies converge, and the header φ is re-merged on every
+// engine step of the loop body. The exact key (ids + raw weight bits)
+// makes a hit provably identical to recomputation, and the stored
+// SubOps/Widens deltas are replayed, so results and accounting are
+// bit-identical with the memo on or off.
+func (c *Calc) MergeLoopHeader(items []Weighted) Value {
+	if c.in == nil || len(items) != 2 || items[0].Val.id == 0 || items[1].Val.id == 0 {
+		return c.Merge(items)
+	}
+	k := mergeKey{
+		a: items[0].Val.id, b: items[1].Val.id,
+		wa: math.Float64bits(items[0].W), wb: math.Float64bits(items[1].W),
+	}
+	if e, ok := c.in.mergeGet(k); ok {
+		c.MergeMemoHits++
+		c.SubOps += e.subOps
+		c.Widens += e.widens
+		return e.result
+	}
+	c.MergeMemoMisses++
+	s0, w0 := c.SubOps, c.Widens
+	v := c.Merge(items)
+	c.in.mergePut(k, memoEntry{result: v, subOps: c.SubOps - s0, widens: c.Widens - w0})
 	return v
 }

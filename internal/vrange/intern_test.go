@@ -1,6 +1,7 @@
 package vrange
 
 import (
+	"sync"
 	"testing"
 
 	"vrp/internal/ir"
@@ -21,9 +22,9 @@ func TestForcedCollisionNotUnified(t *testing.T) {
 	defer func() { testFingerprintHook = nil }()
 
 	it := NewInterner()
-	var hits, misses int64
-	ia := it.intern(a, &hits, &misses)
-	ib := it.intern(b, &hits, &misses)
+	var hits, misses, skips int64
+	ia := it.intern(a, &hits, &misses, &skips)
+	ib := it.intern(b, &hits, &misses, &skips)
 	if hits != 0 || misses != 2 {
 		t.Fatalf("hits=%d misses=%d, want 0 and 2", hits, misses)
 	}
@@ -36,10 +37,10 @@ func TestForcedCollisionNotUnified(t *testing.T) {
 
 	// Re-interning under the same forced collision must hit the existing
 	// representatives, in both the inline slot and the overflow bucket.
-	if r := it.intern(a, &hits, &misses); r.id != ia.id {
+	if r := it.intern(a, &hits, &misses, &skips); r.id != ia.id {
 		t.Errorf("re-intern of a: id %d, want %d", r.id, ia.id)
 	}
-	if r := it.intern(b, &hits, &misses); r.id != ib.id {
+	if r := it.intern(b, &hits, &misses, &skips); r.id != ib.id {
 		t.Errorf("re-intern of b: id %d, want %d", r.id, ib.id)
 	}
 	if hits != 2 || misses != 2 {
@@ -139,5 +140,146 @@ func TestInternDisabledBitIdentical(t *testing.T) {
 	}
 	if on.SubOps != off.SubOps {
 		t.Errorf("SubOps differ: intern %d, nointern %d", on.SubOps, off.SubOps)
+	}
+}
+
+// TestForcedCollisionConcurrentTables pins collision safety under the
+// driver's deployment shape: one table per worker, workers interning
+// concurrently, every fingerprint forced onto one bucket. Within a table
+// no two distinct values may unify; across tables the same content gets
+// distinct ids but stays bit-equal (ids are globally unique, so id
+// equality implies bit equality while inequality implies nothing).
+func TestForcedCollisionConcurrentTables(t *testing.T) {
+	testFingerprintHook = func(Value) (uint64, bool) { return 42, true }
+	defer func() { testFingerprintHook = nil }()
+
+	// Multi-range, non-boolean shapes: the exact-content-keyed fast tables
+	// bypass the fingerprint path (and so the hook) by design.
+	mk := func(i int) Value {
+		lo := int64(i * 100)
+		return FromRanges(
+			Range{Prob: 0.5, Lo: Num(lo), Hi: Num(lo + 9), Stride: 1},
+			Range{Prob: 0.5, Lo: Num(lo + 50), Hi: Num(lo + 60), Stride: 2})
+	}
+	const workers, vals = 8, 16
+
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			it := NewInterner()
+			var hits, misses, skips int64
+			ids[w] = make([]uint64, vals)
+			for i := 0; i < vals; i++ {
+				v := it.intern(mk(i), &hits, &misses, &skips)
+				if !v.BitEqual(mk(i)) {
+					t.Errorf("worker %d: representative %d not bit-equal to source", w, i)
+				}
+				ids[w][i] = v.id
+			}
+			// Second pass must hit the existing representatives.
+			for i := 0; i < vals; i++ {
+				if r := it.intern(mk(i), &hits, &misses, &skips); r.id != ids[w][i] {
+					t.Errorf("worker %d: re-intern of %d got id %d, want %d", w, i, r.id, ids[w][i])
+				}
+			}
+			if misses != vals || hits != vals {
+				t.Errorf("worker %d: hits=%d misses=%d, want %d and %d", w, hits, misses, vals, vals)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := map[uint64]bool{}
+	for w := range ids {
+		perTable := map[uint64]bool{}
+		for i, id := range ids[w] {
+			if id == 0 {
+				t.Fatalf("worker %d value %d: zero id", w, i)
+			}
+			if perTable[id] {
+				t.Fatalf("worker %d: forced collision unified two values (id %d)", w, id)
+			}
+			perTable[id] = true
+			if seen[id] {
+				t.Fatalf("id %d issued by two tables: global counter broken", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestArenaEpochResetAllocFree pins the arena recycling contract: after a
+// couple of warm-up epochs the Reset + re-intern cycle runs entirely on
+// recycled slabs and cleared (bucket-preserving) maps — zero heap
+// allocations in steady state.
+func TestArenaEpochResetAllocFree(t *testing.T) {
+	it := NewInterner()
+	var hits, misses, skips int64
+	// Inputs are built once: the cycle must be alloc-free end to end, and
+	// the interner never retains caller slices (it copies into the arena).
+	var vals []Value
+	for i := 0; i < 32; i++ {
+		lo := int64(i * 10)
+		// Arena-backed multi-range values plus exact-table points.
+		vals = append(vals,
+			FromRanges(
+				Range{Prob: 0.25, Lo: Num(lo), Hi: Num(lo + 5), Stride: 1},
+				Range{Prob: 0.75, Lo: Num(lo + 100), Hi: Num(lo + 110), Stride: 2}),
+			FromRanges(Range{Prob: 1, Lo: Num(lo), Hi: Num(lo), Stride: 0}))
+	}
+	cycle := func() {
+		it.Reset()
+		for _, v := range vals {
+			it.intern(v, &hits, &misses, &skips)
+		}
+	}
+	cycle()
+	cycle() // two warm epochs: slab sizes and map buckets reach steady state
+	if n := testing.AllocsPerRun(20, cycle); n != 0 {
+		t.Errorf("Reset + re-intern cycle: %v allocs/op in steady state, want 0", n)
+	}
+	if it.Epoch() < 3 {
+		t.Errorf("Epoch() = %d, want >= 3 after three Resets", it.Epoch())
+	}
+	if it.Evictions() == 0 {
+		t.Error("Evictions() = 0, want > 0 after Resets of a populated table")
+	}
+}
+
+// TestMergeLoopHeaderBitIdentical pins the loop-header merge memo's
+// equivalence contract: MergeLoopHeader with the memo warm produces values
+// and Stats accounting bit-identical to plain Merge with interning (and
+// the memo) disabled.
+func TestMergeLoopHeaderBitIdentical(t *testing.T) {
+	on := NewCalc(DefaultConfig())
+	offCfg := DefaultConfig()
+	offCfg.DisableIntern = true
+	off := NewCalc(offCfg)
+
+	mkItems := func(c *Calc) []Weighted {
+		x := c.Canonicalize(FromRanges(Range{Prob: 0.7, Lo: Num(0), Hi: Num(63), Stride: 1},
+			Range{Prob: 0.3, Lo: Num(100), Hi: Num(120), Stride: 2}))
+		y := c.Canonicalize(FromRanges(Range{Prob: 1, Lo: Num(1), Hi: Num(31), Stride: 2}))
+		return []Weighted{{Val: x, W: 0.9375}, {Val: y, W: 0.0625}}
+	}
+	onItems, offItems := mkItems(on), mkItems(off)
+
+	var got, want Value
+	for i := 0; i < 3; i++ { // first call misses the memo, the rest hit
+		got = on.MergeLoopHeader(onItems)
+		want = off.Merge(offItems)
+		if !got.BitEqual(want) {
+			t.Fatalf("round %d: MergeLoopHeader %v, Merge (nointern) %v", i, got, want)
+		}
+	}
+	if on.MergeMemoHits == 0 || on.MergeMemoMisses == 0 {
+		t.Errorf("memo traffic hits=%d misses=%d, want both > 0", on.MergeMemoHits, on.MergeMemoMisses)
+	}
+	if on.SubOps != off.SubOps || on.Widens != off.Widens {
+		t.Errorf("stats drift: intern SubOps=%d Widens=%d, nointern SubOps=%d Widens=%d",
+			on.SubOps, on.Widens, off.SubOps, off.Widens)
 	}
 }

@@ -98,7 +98,14 @@ type driver struct {
 	cg      *callgraph.Graph
 	ip      *interproc
 	workers int
-	ctx     context.Context
+	// internHint pre-sizes each worker's cons table: live interned values
+	// track the instruction count (≈1.25× in practice), and a pre-sized
+	// table skips the allocate-and-rehash growth ladder that otherwise
+	// runs on every analysis. Divided by the worker count — a parallel
+	// schedule spreads the population — but never below one growth step's
+	// worth, so the estimate erring small costs one doubling, not many.
+	internHint int
+	ctx        context.Context
 
 	results []*FuncResult    // function index → latest FuncResult
 	prevIn  [][]vrange.Value // function index → input vector of the last engine run (nil: never ran)
@@ -123,14 +130,19 @@ type driver struct {
 	// exactly as the classic sequential driver did.
 	sccFuncs [][]int
 
-	// interners holds one persistent hash-cons table per call-graph SCC
-	// (nil until the SCC first runs, or forever when interning is
-	// disabled). An SCC is owned by exactly one task per wave and appears
-	// in exactly one wave, and waves are separated by WaitGroup barriers,
-	// so the table is never touched concurrently while intern and memo
-	// state persists across passes — re-analysis of a changed function
-	// replays mostly-cached transfer functions.
-	interners []*vrange.Interner
+	// tables holds one persistent hash-cons table per worker slot (nil
+	// until the slot first runs, or forever when interning is disabled).
+	// Each wave spawns at most one goroutine per slot and hands it the
+	// slot's table; the WaitGroup barrier between waves (and passes) gives
+	// the happens-before for this epoch hand-off, so a table is never
+	// touched concurrently while its intern, memo, and arena state stay
+	// warm across the whole analysis. Per-worker tables replace the old
+	// per-SCC tables: workers stop rebuilding cold tables for every small
+	// SCC they steal, and the table count is bounded by the pool size
+	// instead of the program's SCC count. Values interned in different
+	// slots carry different ids for equal content; that only weakens the
+	// id short-circuit to a structural compare, never correctness.
+	tables []*vrange.Interner
 
 	// scratch holds one recycled engine allocation pool per function
 	// (dominator structures plus zeroed-on-reuse working arrays), created
@@ -167,7 +179,6 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 		diags:    make([][]Diagnostic, n),
 		rec:      cfg.Telemetry,
 	}
-	d.interners = make([]*vrange.Interner, len(cg.SCCs))
 	d.scratch = make([]*engineScratch, n)
 	if d.rec != nil {
 		names := make([]string, n)
@@ -178,6 +189,11 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 	}
 	if d.workers <= 0 {
 		d.workers = runtime.GOMAXPROCS(0)
+	}
+	d.tables = make([]*vrange.Interner, d.workers)
+	d.internHint = p.NumInstrs() + p.NumInstrs()/4
+	if d.workers > 1 {
+		d.internHint /= d.workers
 	}
 	pos := make([]int, n)
 	for i, f := range callOrder(p) {
@@ -269,6 +285,7 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 	}
 	res.Diagnostics = d.collectDiags()
 	d.finishTelemetry(res, passes)
+	d.releaseTables()
 	return res, nil
 }
 
@@ -292,6 +309,14 @@ func (d *driver) finishTelemetry(res *Result, maxPasses int) {
 	}
 	snap := d.rec.Snapshot()
 	snap.BoundaryDrops = d.ip.drops.Load()
+	for _, it := range d.tables {
+		if it == nil {
+			continue
+		}
+		snap.InternLive += int64(it.Live())
+		snap.InternArenaBytes += it.ArenaBytes()
+		snap.InternEvictions += it.Evictions()
+	}
 
 	setSize := telemetry.NewHistogram("range-set-size", "⊤", "⊥", "∅", "1", "2", "3", "4", "5+")
 	span := telemetry.NewHistogram("range-span", "point", "≤8", "≤64", "≤512", "≤4096", ">4096", "symbolic")
@@ -426,11 +451,12 @@ func (d *driver) runWave(wi int, wave []int) {
 		nw = len(wave)
 	}
 	if nw <= 1 {
+		it := d.table(0)
 		for _, scc := range wave {
 			if d.cancelled.Load() {
 				return
 			}
-			d.runSCC(wi, scc)
+			d.runSCC(wi, scc, it)
 		}
 		return
 	}
@@ -438,6 +464,9 @@ func (d *driver) runWave(wi int, wave []int) {
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
+		// Resolve the slot's table on the driver goroutine (lazy creation
+		// must not race); the barrier below ends the slot's ownership.
+		it := d.table(w)
 		go func() {
 			defer wg.Done()
 			for {
@@ -445,11 +474,83 @@ func (d *driver) runWave(wi int, wave []int) {
 				if i >= len(wave) || d.cancelled.Load() {
 					return
 				}
-				d.runSCC(wi, wave[i])
+				d.runSCC(wi, wave[i], it)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// internPools recycles warm cons tables across analyses. A finished run's
+// tables go back to the pool and the next Analyze of a similar program
+// starts with its values and memo entries already resident — the steady
+// re-analysis loop (vrpd re-running on every change) then interns almost
+// entirely by table hit, paying neither construction (≈1.5MB of zeroed
+// slots per run) nor first-touch misses. Two safety rules:
+//
+//   - Pools are keyed by the full vrange.Config: memo entries replay
+//     results and stats deltas recorded under one configuration and would
+//     be silently wrong under another. Config is a small comparable
+//     struct, so it is its own map key.
+//   - A pooled table is never Reset: Results retain arena-backed Values,
+//     so recycling slabs while any previous Result is alive would corrupt
+//     it. Growth across unlike programs is bounded instead by dropping
+//     tables whose live population exceeds pooledTableMaxLive (the pool
+//     itself is GC-clearable, so idle tables do not pin memory forever).
+var internPools sync.Map // vrange.Config → *sync.Pool of *vrange.Interner
+
+const pooledTableMaxLive = 1 << 16
+
+func internPool(cfg vrange.Config) *sync.Pool {
+	if p, ok := internPools.Load(cfg); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := internPools.LoadOrStore(cfg, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// ResetInternPools drops every pooled cons table. Benchmarks call it when
+// they need cold-table counters (first-run hit/miss splits, per-program
+// arena footprints) rather than the steady-state warm behavior.
+func ResetInternPools() {
+	internPools.Range(func(k, _ any) bool {
+		internPools.Delete(k)
+		return true
+	})
+}
+
+// table returns worker slot w's persistent interner, creating it on first
+// use; nil when interning is disabled.
+func (d *driver) table(w int) *vrange.Interner {
+	if d.cfg.Range.DisableIntern {
+		return nil
+	}
+	if d.tables[w] == nil {
+		if it, _ := internPool(d.cfg.Range).Get().(*vrange.Interner); it != nil {
+			d.tables[w] = it
+		} else {
+			d.tables[w] = vrange.NewInternerSized(d.internHint)
+		}
+	}
+	return d.tables[w]
+}
+
+// releaseTables hands the run's warm tables back to the config-keyed pool.
+// Must run after finishTelemetry (which reads the tables' gauges).
+func (d *driver) releaseTables() {
+	if d.cfg.Range.DisableIntern {
+		return
+	}
+	pool := internPool(d.cfg.Range)
+	for i, it := range d.tables {
+		if it == nil {
+			continue
+		}
+		d.tables[i] = nil
+		if it.Live() <= pooledTableMaxLive {
+			pool.Put(it)
+		}
+	}
 }
 
 // runSCC analyzes one SCC's functions sequentially (mutual recursion needs
@@ -458,14 +559,9 @@ func (d *driver) runWave(wi int, wave []int) {
 // run is panic-isolated: a panic (or an exhausted step budget) degrades
 // that one function to the ⊥/heuristic fallback and quarantines it,
 // instead of killing the process from a worker goroutine.
-func (d *driver) runSCC(wi, scc int) {
+func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 	var local statCounters
 	changed := false
-	it := d.interners[scc]
-	if it == nil && !d.cfg.Range.DisableIntern {
-		it = vrange.NewInterner()
-		d.interners[scc] = it
-	}
 	for _, fi := range d.sccFuncs[scc] {
 		if d.poisoned[fi] {
 			continue // quarantined: degraded result is already a fixpoint
@@ -507,7 +603,15 @@ func (d *driver) runSCC(wi, scc int) {
 				rm.Steps = eng.steps
 			}
 			rm.AddWidens(calc.Widens)
-			rm.AddLattice(calc.InternHits, calc.InternMisses, calc.MemoHits, calc.MemoMisses)
+			rm.AddLattice(telemetry.LatticeCounters{
+				InternHits:    calc.InternHits,
+				InternMiss:    calc.InternMisses,
+				MemoHits:      calc.MemoHits,
+				MemoMisses:    calc.MemoMisses,
+				ConfirmSkips:  calc.ConfirmSkips,
+				MergeMemoHits: calc.MergeMemoHits,
+				MergeMemoMiss: calc.MergeMemoMisses,
+			})
 			d.rec.EndRun(fi, d.pass, wi, rm, t0, outcome)
 		}
 		if panicked != nil {

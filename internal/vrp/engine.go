@@ -672,6 +672,12 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 		items = append(items, vrange.Weighted{Val: e.val[o.reg], W: o.w})
 	}
 	e.phiItems = items
+	if hasBack {
+		// Loop-header φ: weights freeze once the loop's frequencies
+		// converge, so the exact-key merge memo hits on every body step.
+		e.setValue(phi, e.calc.MergeLoopHeader(items))
+		return
+	}
 	e.setValue(phi, e.calc.Merge(items))
 }
 
