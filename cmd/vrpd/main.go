@@ -14,14 +14,17 @@
 //	-max-inflight 16       concurrent analyses before shedding with 429
 //	-max-source-bytes N    request body cap (default 1 MiB)
 //	-cache N               result-cache entries (0 disables)
+//	-funcstore N           per-function result-store buckets (0 disables)
 //	-timeout D             per-analysis timeout (0 = none)
 //	-workers N             per-analysis engine parallelism (0 = one per CPU)
 //	-drain D               shutdown drain budget (default 10s)
 //	-log text|json         request log format (default json)
 //
 // Endpoints: POST /v1/analyze (Mini source → predictions JSON;
-// ?explain=func:line, ?telemetry=1), GET /metrics, /healthz, /readyz,
-// /debug/pprof. See README "Running the server".
+// ?explain=func:line, ?telemetry=1), POST /v1/analyze-batch
+// ({"programs": [...]} → per-program results, pipelined over one warm
+// store), GET /metrics, /healthz, /readyz, /debug/pprof. See README
+// "Running the server".
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 		inflight  = flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent analyses before 429 shedding")
 		maxSource = flag.Int64("max-source-bytes", server.DefaultMaxSourceBytes, "request body size cap in bytes")
 		cacheSize = flag.Int("cache", server.DefaultCacheEntries, "result cache entries (0 disables caching)")
+		storeSize = flag.Int("funcstore", server.DefaultFuncStoreEntries, "per-function result store buckets (0 disables incremental reuse)")
 		timeout   = flag.Duration("timeout", 0, "per-analysis timeout (0 = none)")
 		workers   = flag.Int("workers", 0, "per-analysis engine workers (0 = one per CPU)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
@@ -66,13 +70,18 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1 // Config: 0 means default, negative disables
 	}
+	storeEntries := *storeSize
+	if storeEntries == 0 {
+		storeEntries = -1
+	}
 	srv := server.New(server.Config{
-		MaxInFlight:    *inflight,
-		MaxSourceBytes: *maxSource,
-		CacheEntries:   cacheEntries,
-		AnalyzeTimeout: *timeout,
-		Workers:        *workers,
-		Logger:         logger,
+		MaxInFlight:      *inflight,
+		MaxSourceBytes:   *maxSource,
+		CacheEntries:     cacheEntries,
+		FuncStoreEntries: storeEntries,
+		AnalyzeTimeout:   *timeout,
+		Workers:          *workers,
+		Logger:           logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

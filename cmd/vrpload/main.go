@@ -1,0 +1,339 @@
+// Command vrpload is a deterministic load generator for vrpd. It drives
+// the server through three phases built from genprog's reproducible
+// program generator and reports latency percentiles, throughput, and the
+// server's own cache/funcstore counters as BENCH_server.json:
+//
+//	cold   distinct programs (one generator seed each): every request
+//	       analyzes from scratch, so this is the no-reuse baseline.
+//	warm   single-function edits of one base program the server has
+//	       already seen: the per-function store should splice all but
+//	       the dirty cone, so warm latency below cold latency is the
+//	       incremental win the store exists to deliver.
+//	batch  fresh single-function edits grouped into /v1/analyze-batch
+//	       requests, exercising the pipelined endpoint over the same
+//	       warm store.
+//
+// Request contents are a pure function of -seed, so two runs against
+// equal servers issue byte-identical traffic (only the timings differ).
+//
+// Usage:
+//
+//	vrpload [flags]
+//
+// Flags:
+//
+//	-addr URL              vrpd base URL (default http://127.0.0.1:8344)
+//	-seed N                generator seed (default 0x5eed)
+//	-gen-funcs N           kernels per program (0 = benchmark default)
+//	-cold N                cold-phase requests (default 6)
+//	-warm N                warm-phase requests (default 24)
+//	-batch N               programs per batch request (0 skips the phase)
+//	-batches N             batch-phase requests (default 2)
+//	-concurrency N         in-flight requests per phase (default 4)
+//	-wait D                how long to poll /readyz before giving up
+//	-out FILE              where to write the JSON report
+//	-require-store-hits    exit 1 unless the warm phase hit the funcstore
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vrp/internal/genprog"
+)
+
+type latencyMS struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type storeStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type phaseReport struct {
+	Name          string     `json:"name"`
+	Requests      int        `json:"requests"`
+	Errors        int        `json:"errors"`
+	DurationMS    float64    `json:"duration_ms"`
+	ThroughputRPS float64    `json:"throughput_rps"`
+	Latency       latencyMS  `json:"latency_ms"`
+	FuncStore     storeStats `json:"funcstore"`
+	Cache         storeStats `json:"cache"`
+}
+
+type report struct {
+	Schema      string         `json:"schema"`
+	Addr        string         `json:"addr"`
+	Gen         genprog.Config `json:"gen"`
+	Concurrency int            `json:"concurrency"`
+	Phases      []phaseReport  `json:"phases"`
+}
+
+var client = &http.Client{Timeout: 5 * time.Minute}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8344", "vrpd base URL")
+		seed    = flag.Uint64("seed", 0x5eed, "generator seed; traffic is a pure function of it")
+		funcs   = flag.Int("gen-funcs", 0, "kernels per generated program (0 = benchmark default)")
+		cold    = flag.Int("cold", 6, "cold-phase requests (distinct programs)")
+		warm    = flag.Int("warm", 24, "warm-phase requests (single-function edits of the seeded base)")
+		batch   = flag.Int("batch", 8, "programs per /v1/analyze-batch request (0 skips the batch phase)")
+		batches = flag.Int("batches", 2, "batch-phase requests")
+		conc    = flag.Int("concurrency", 4, "in-flight requests per phase")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to poll /readyz before giving up")
+		out     = flag.String("out", "BENCH_server.json", "JSON report path")
+		require = flag.Bool("require-store-hits", false, "exit 1 unless the warm phase recorded funcstore hits")
+	)
+	flag.Parse()
+
+	cfg := genprog.Default()
+	cfg.Seed = *seed
+	if *funcs > 0 {
+		cfg.Funcs = *funcs
+	}
+
+	if err := waitReady(*addr, *wait); err != nil {
+		fatal("server not ready: %v", err)
+	}
+
+	base := genprog.Source(cfg)
+	coldBodies := make([][]byte, *cold)
+	for i := range coldBodies {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i) + 1
+		coldBodies[i] = []byte(genprog.Source(c))
+	}
+	warmBodies := make([][]byte, *warm)
+	for i := range warmBodies {
+		warmBodies[i] = []byte(editVariant(base, cfg.Funcs, i, 0))
+	}
+
+	rep := &report{Schema: "vrpd-load/v1", Addr: *addr, Gen: cfg, Concurrency: *conc}
+
+	rep.Phases = append(rep.Phases, runPhase(*addr, "cold", "/v1/analyze", coldBodies, *conc))
+	// Seed the per-function store with the base program before the warm
+	// phase; reported separately so it never pollutes either side.
+	rep.Phases = append(rep.Phases, runPhase(*addr, "seed", "/v1/analyze", [][]byte{[]byte(base)}, 1))
+	warmPhase := runPhase(*addr, "warm", "/v1/analyze", warmBodies, *conc)
+	rep.Phases = append(rep.Phases, warmPhase)
+
+	if *batch > 0 && *batches > 0 {
+		// Fresh edit deltas: reusing the warm bodies would measure the
+		// response cache, not the per-function store.
+		batchBodies := make([][]byte, *batches)
+		v := 0
+		for i := range batchBodies {
+			var breq struct {
+				Programs []string `json:"programs"`
+			}
+			for j := 0; j < *batch; j++ {
+				breq.Programs = append(breq.Programs, editVariant(base, cfg.Funcs, v, 1<<20))
+				v++
+			}
+			b, err := json.Marshal(&breq)
+			if err != nil {
+				fatal("marshal batch: %v", err)
+			}
+			batchBodies[i] = b
+		}
+		rep.Phases = append(rep.Phases, runPhase(*addr, "batch", "/v1/analyze-batch", batchBodies, *conc))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal report: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("vrpload: wrote %s\n", *out)
+	for _, p := range rep.Phases {
+		fmt.Printf("  %-5s %3d req  %2d err  p50 %7.1fms  p99 %7.1fms  %6.2f rps  funcstore %d/%d (%.0f%%)\n",
+			p.Name, p.Requests, p.Errors, p.Latency.P50, p.Latency.P99, p.ThroughputRPS,
+			p.FuncStore.Hits, p.FuncStore.Hits+p.FuncStore.Misses, 100*p.FuncStore.HitRate)
+	}
+
+	if *require {
+		if warmPhase.Errors > 0 {
+			fatal("warm phase had %d errors", warmPhase.Errors)
+		}
+		if warmPhase.FuncStore.Hits == 0 {
+			fatal("warm phase recorded zero funcstore hits: incremental reuse is not happening")
+		}
+	}
+}
+
+// editVariant builds the i-th single-function edit of base: distinct
+// (kernel, delta) pairs so every variant is a different program, offset
+// by deltaBase so separate phases never collide with each other.
+func editVariant(base string, funcs, i, deltaBase int) string {
+	k := i % funcs
+	delta := int64(deltaBase + i + 1)
+	src, ok := genprog.EditFunc(base, k, delta)
+	if !ok {
+		fatal("EditFunc(%d) failed on generated base", k)
+	}
+	return src
+}
+
+func waitReady(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("readyz kept answering non-200 for %v", wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runPhase POSTs every body to path with conc workers and folds in the
+// server-side funcstore/cache counter deltas observed across the phase.
+func runPhase(addr, name, path string, bodies [][]byte, conc int) phaseReport {
+	before := scrape(addr)
+	durs := make([]float64, len(bodies))
+	errs := make([]bool, len(bodies))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	if conc < 1 {
+		conc = 1
+	}
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				resp, err := client.Post(addr+path, "application/json", bytes.NewReader(bodies[i]))
+				durs[i] = float64(time.Since(t0).Microseconds()) / 1e3
+				if err != nil {
+					errs[i] = true
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = true
+				}
+			}
+		}()
+	}
+	t0 := time.Now()
+	for i := range bodies {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	total := time.Since(t0)
+	after := scrape(addr)
+
+	p := phaseReport{
+		Name:       name,
+		Requests:   len(bodies),
+		DurationMS: float64(total.Microseconds()) / 1e3,
+	}
+	for _, e := range errs {
+		if e {
+			p.Errors++
+		}
+	}
+	if total > 0 {
+		p.ThroughputRPS = float64(len(bodies)) / total.Seconds()
+	}
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+	p.Latency = latencyMS{
+		P50: percentile(sorted, 0.50),
+		P90: percentile(sorted, 0.90),
+		P99: percentile(sorted, 0.99),
+		Max: percentile(sorted, 1),
+	}
+	p.FuncStore = delta(before, after, "vrpd_funcstore_hits_total", "vrpd_funcstore_misses_total")
+	p.Cache = delta(before, after, "vrpd_cache_hits_total", "vrpd_cache_misses_total")
+	return p
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrape fetches /metrics and returns the plain counter samples. A
+// scrape failure returns an empty map: the report then shows zero deltas
+// rather than killing the load run.
+func scrape(addr string) map[string]int64 {
+	m := map[string]int64{}
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return m
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return m
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, "{") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		m[name] = int64(f)
+	}
+	return m
+}
+
+func delta(before, after map[string]int64, hitName, missName string) storeStats {
+	s := storeStats{
+		Hits:   after[hitName] - before[hitName],
+		Misses: after[missName] - before[missName],
+	}
+	if s.Hits+s.Misses > 0 {
+		s.HitRate = float64(s.Hits) / float64(s.Hits+s.Misses)
+	}
+	return s
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vrpload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -152,6 +152,30 @@ func (g *gen) kernel(i int, cfg Config) {
 	g.w("}")
 }
 
+// EditFunc returns src with one extra statement (`y += <delta>;`)
+// inserted into kernel k's body, right after its `var y = ...;` line. The
+// edit changes exactly one function, so an incremental analyzer holding
+// results for the unedited program should re-analyze only f<k>'s dirty
+// cone. Reports false when src has no kernel k.
+func EditFunc(src string, k int, delta int64) (string, bool) {
+	header := fmt.Sprintf("func f%d(a, b) {\n", k)
+	h := strings.Index(src, header)
+	if h < 0 {
+		return src, false
+	}
+	body := src[h+len(header):]
+	y := strings.Index(body, "\tvar y = ")
+	if y < 0 {
+		return src, false
+	}
+	nl := strings.IndexByte(body[y:], '\n')
+	if nl < 0 {
+		return src, false
+	}
+	at := h + len(header) + y + nl + 1
+	return src[:at] + fmt.Sprintf("\ty += %d;\n", delta) + src[at:], true
+}
+
 // Source renders the program for cfg. Same cfg, same bytes.
 func Source(cfg Config) string {
 	g := &gen{r: rng{s: cfg.Seed}}

@@ -1,6 +1,7 @@
 package genprog_test
 
 import (
+	"strings"
 	"testing"
 
 	"vrp"
@@ -51,5 +52,74 @@ func TestAnalyzable(t *testing.T) {
 		if pr.Prob < 0 || pr.Prob > 1 {
 			t.Fatalf("branch probability %v out of [0,1]", pr.Prob)
 		}
+	}
+}
+
+// TestEditFunc pins the single-function-edit contract the incremental
+// load tests rely on: the edit is deterministic, still compiles, touches
+// exactly one kernel, and fails cleanly on a missing kernel.
+func TestEditFunc(t *testing.T) {
+	cfg := genprog.Config{Seed: 3, Funcs: 6, Diamonds: 2, LoopDepth: 2}
+	base := genprog.Source(cfg)
+
+	edited, ok := genprog.EditFunc(base, 2, 41)
+	if !ok {
+		t.Fatal("EditFunc(2) failed")
+	}
+	if again, _ := genprog.EditFunc(base, 2, 41); again != edited {
+		t.Fatal("EditFunc is not deterministic")
+	}
+	if edited == base {
+		t.Fatal("EditFunc changed nothing")
+	}
+	if _, err := vrp.Compile("edited.mini", edited); err != nil {
+		t.Fatalf("edited program does not compile: %v", err)
+	}
+
+	// Exactly one inserted line, inside kernel 2's body.
+	baseLines := strings.Split(base, "\n")
+	editLines := strings.Split(edited, "\n")
+	if len(editLines) != len(baseLines)+1 {
+		t.Fatalf("edit added %d lines, want 1", len(editLines)-len(baseLines))
+	}
+	diff := -1
+	for i := range baseLines {
+		if editLines[i] != baseLines[i] {
+			diff = i
+			break
+		}
+	}
+	if diff < 0 {
+		t.Fatal("no differing line found")
+	}
+	if want := "\ty += 41;"; editLines[diff] != want {
+		t.Fatalf("inserted line = %q, want %q", editLines[diff], want)
+	}
+	header := strings.LastIndex(strings.Join(editLines[:diff], "\n"), "func f")
+	if header < 0 || !strings.Contains(edited[header:header+12], "func f2(") {
+		t.Errorf("inserted line is not inside f2's body")
+	}
+	// Everything after the insertion is untouched.
+	for i := diff; i < len(baseLines); i++ {
+		if baseLines[i] != editLines[i+1] {
+			t.Fatalf("line %d changed beyond the insertion", i)
+		}
+	}
+
+	// Distinct deltas and kernels give distinct programs.
+	other, _ := genprog.EditFunc(base, 2, 42)
+	if other == edited {
+		t.Error("different deltas produced identical edits")
+	}
+	otherK, _ := genprog.EditFunc(base, 3, 41)
+	if otherK == edited {
+		t.Error("different kernels produced identical edits")
+	}
+
+	if _, ok := genprog.EditFunc(base, cfg.Funcs, 1); ok {
+		t.Error("EditFunc on a missing kernel reported success")
+	}
+	if _, ok := genprog.EditFunc("func main() { print(1); }", 0, 1); ok {
+		t.Error("EditFunc on kernel-free source reported success")
 	}
 }

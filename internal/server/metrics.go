@@ -33,11 +33,22 @@ type serverMetrics struct {
 	notConverged *metrics.Counter    // vrpd_analyses_not_converged_total
 	passes       *metrics.Histogram  // vrpd_analysis_passes
 
+	// Batch surface.
+	batchLatency *metrics.Histogram // vrpd_batch_duration_seconds
+	batchSize    *metrics.Histogram // vrpd_batch_programs
+
 	// Result cache.
-	cacheHits      *metrics.Counter // vrpd_cache_hits_total
-	cacheMisses    *metrics.Counter // vrpd_cache_misses_total
-	cacheBypass    *metrics.Counter // vrpd_cache_bypass_total
-	cacheEvictions *metrics.Counter // vrpd_cache_evictions_total
+	cacheHits       *metrics.Counter // vrpd_cache_hits_total
+	cacheMisses     *metrics.Counter // vrpd_cache_misses_total
+	cacheBypass     *metrics.Counter // vrpd_cache_bypass_total
+	cacheEvictions  *metrics.Counter // vrpd_cache_evictions_total
+	cacheCollisions *metrics.Counter // vrpd_cache_collisions_total
+
+	// Per-function result store.
+	funcstoreHits       *metrics.Counter // vrpd_funcstore_hits_total
+	funcstoreMisses     *metrics.Counter // vrpd_funcstore_misses_total
+	funcstoreCollisions *metrics.Counter // vrpd_funcstore_collisions_total
+	funcstoreEvictions  *metrics.Counter // vrpd_funcstore_evictions_total
 
 	// Lattice-level telemetry, folded from each run's Snapshot totals.
 	latSteps      *metrics.Counter // vrpd_lattice_steps_total
@@ -77,7 +88,7 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		requests: reg.CounterVec("vrpd_http_requests_total", "HTTP requests by path and status code.", "path", "code"),
 		inflight: reg.Gauge("vrpd_inflight_requests", "Analyze requests currently being served."),
 		shed:     reg.Counter("vrpd_requests_shed_total", "Analyze requests rejected with 429 because the in-flight bound was reached."),
-		latency:  reg.Histogram("vrpd_analyze_duration_seconds", "Wall time of /v1/analyze requests, cache hits included.", latencyBuckets),
+		latency:  reg.Histogram("vrpd_analyze_duration_seconds", "Wall time of every /v1/analyze request: analyses, cache hits, errors, and 429 load sheds alike (batch requests land in vrpd_batch_duration_seconds instead).", latencyBuckets),
 		srcBytes: reg.Histogram("vrpd_analyze_source_bytes", "Size of submitted Mini sources in bytes.", sourceBuckets),
 
 		analyses:     reg.CounterVec("vrpd_analyses_total", "Completed analyze requests by outcome.", "outcome"),
@@ -85,10 +96,19 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		notConverged: reg.Counter("vrpd_analyses_not_converged_total", "Analyses that exhausted MaxPasses (optimistic values demoted)."),
 		passes:       reg.Histogram("vrpd_analysis_passes", "Interprocedural fixpoint passes per analysis.", []float64{1, 2, 3, 4, 6, 8}),
 
-		cacheHits:      reg.Counter("vrpd_cache_hits_total", "Analyze requests served from the fingerprint-keyed result cache."),
-		cacheMisses:    reg.Counter("vrpd_cache_misses_total", "Cacheable analyze requests that had to run the analysis."),
-		cacheBypass:    reg.Counter("vrpd_cache_bypass_total", "Analyze requests that bypassed the cache (explain/telemetry queries)."),
-		cacheEvictions: reg.Counter("vrpd_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
+		batchLatency: reg.Histogram("vrpd_batch_duration_seconds", "Wall time of every /v1/analyze-batch request, 429 load sheds included.", latencyBuckets),
+		batchSize:    reg.Histogram("vrpd_batch_programs", "Programs per accepted /v1/analyze-batch request.", []float64{1, 2, 4, 8, 16, 32, 64}),
+
+		cacheHits:       reg.Counter("vrpd_cache_hits_total", "Analyze requests served from the fingerprint-keyed result cache."),
+		cacheMisses:     reg.Counter("vrpd_cache_misses_total", "Cacheable analyze requests that had to run the analysis."),
+		cacheBypass:     reg.Counter("vrpd_cache_bypass_total", "Analyze requests that bypassed the cache (explain/telemetry queries)."),
+		cacheEvictions:  reg.Counter("vrpd_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
+		cacheCollisions: reg.Counter("vrpd_cache_collisions_total", "Result-cache fingerprint matches whose stored source failed the equality confirm (served as misses, never as another program's body)."),
+
+		funcstoreHits:       reg.Counter("vrpd_funcstore_hits_total", "Function results spliced from the per-function store after full-key confirmation."),
+		funcstoreMisses:     reg.Counter("vrpd_funcstore_misses_total", "Per-function store lookups that required an engine run."),
+		funcstoreCollisions: reg.Counter("vrpd_funcstore_collisions_total", "Per-function store fingerprint matches whose stored key failed confirmation (counted as misses; colliding entries coexist, they are never unified)."),
+		funcstoreEvictions:  reg.Counter("vrpd_funcstore_evictions_total", "Per-function store entries evicted by the LRU bound."),
 
 		latSteps:      reg.Counter("vrpd_lattice_steps_total", "Engine worklist steps across all analyses."),
 		latPhiMerges:  reg.Counter("vrpd_lattice_phi_merges_total", "Weighted phi-merges evaluated across all analyses."),
@@ -118,6 +138,8 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		func() float64 { return ratio(m.memoHits.Value(), m.memoMisses.Value()) })
 	reg.GaugeFunc("vrpd_cache_hit_ratio", "Result-cache hit ratio over cacheable requests.",
 		func() float64 { return ratio(m.cacheHits.Value(), m.cacheMisses.Value()) })
+	reg.GaugeFunc("vrpd_funcstore_hit_ratio", "Per-function store hit ratio over all lookups.",
+		func() float64 { return ratio(m.funcstoreHits.Value(), m.funcstoreMisses.Value()) })
 
 	// Process-level health.
 	reg.GaugeFunc("vrpd_goroutines", "Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })

@@ -8,6 +8,13 @@
 //	                   ?explain=func:line adds the provenance chain of
 //	                   one branch; ?telemetry=1 attaches the run's full
 //	                   telemetry snapshot. Both bypass the result cache.
+//	POST /v1/analyze-batch
+//	                   {"programs": ["src", ...]} → {"results": [{"status",
+//	                   "body"}, ...]}, one entry per program in order; each
+//	                   body is byte-identical to what /v1/analyze would
+//	                   have returned. The batch holds one in-flight slot
+//	                   and pipelines parse→SSA against VRP across items,
+//	                   all sharing the warm caches.
 //	GET  /metrics      Prometheus text exposition (internal/metrics).
 //	GET  /healthz      liveness: 200 while the process runs.
 //	GET  /readyz       readiness: 200 until Shutdown begins, then 503.
@@ -22,8 +29,15 @@
 //     requests are shed immediately with 429 (and counted) instead of
 //     queueing without bound.
 //   - Results are cached in a bounded LRU keyed by the vrange.HashBytes
-//     fingerprint of the source; a hit returns the exact bytes of the
+//     fingerprint of the source; the stored source is compared on every
+//     hit (fingerprint collisions are counted misses, never another
+//     program's body), and a hit returns the exact bytes of the
 //     populating response.
+//   - A per-function result store (funcstore.go) persists every
+//     successful engine run keyed by body × interprocedural-input ×
+//     config fingerprints with full-key confirmation, so a request that
+//     edits one function of a previously seen program re-analyzes only
+//     the dirty cone — bit-identical to a cold analysis.
 //   - Every analysis runs with telemetry enabled and its RunMetrics
 //     aggregates are folded into the /metrics registry, so a scrape
 //     shows lattice-level health (steps, φ-merges, widens, intern and
@@ -32,6 +46,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -66,6 +81,10 @@ type Config struct {
 	// 0 means DefaultCacheEntries.
 	CacheEntries int
 
+	// FuncStoreEntries bounds the cross-request per-function result
+	// store; negative disables it, 0 means DefaultFuncStoreEntries.
+	FuncStoreEntries int
+
 	// AnalyzeTimeout cancels one analysis after this long (the request
 	// fails with 503 and a cancelled outcome). 0 disables the timeout.
 	AnalyzeTimeout time.Duration
@@ -89,11 +108,12 @@ const (
 // Server is the vrpd HTTP service. Create with New, serve with
 // ListenAndServe or Serve, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	m     *serverMetrics
-	cache *resultCache
-	sem   chan struct{}
+	cfg    Config
+	log    *slog.Logger
+	m      *serverMetrics
+	cache  *resultCache
+	fstore *funcStore
+	sem    chan struct{}
 
 	mux      *http.ServeMux
 	http     *http.Server
@@ -118,21 +138,31 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = DefaultCacheEntries
 	}
+	if cfg.FuncStoreEntries == 0 {
+		cfg.FuncStoreEntries = DefaultFuncStoreEntries
+	}
 	lg := cfg.Logger
 	if lg == nil {
 		lg = slog.Default()
 	}
 	start := time.Now()
+	m := newServerMetrics(start)
 	s := &Server{
 		cfg:      cfg,
 		log:      lg,
-		m:        newServerMetrics(start),
+		m:        m,
 		cache:    newResultCache(cfg.CacheEntries),
+		fstore:   newFuncStore(cfg.FuncStoreEntries, m),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		mux:      http.NewServeMux(),
 		idPrefix: strconv.FormatInt(start.UnixNano()&0xfffffff, 36),
 	}
+	if s.fstore != nil {
+		m.reg.GaugeFunc("vrpd_funcstore_entries", "Fingerprint buckets resident in the per-function result store.",
+			func() float64 { return float64(s.fstore.len()) })
+	}
 	s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	s.mux.Handle("/v1/analyze-batch", s.instrument("/v1/analyze-batch", s.handleAnalyzeBatch))
 	s.mux.Handle("/metrics", s.instrument("/metrics", s.m.reg.Handler().ServeHTTP))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
@@ -337,6 +367,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The latency histogram covers every /v1/analyze outcome, load sheds
+	// included, so timing starts before the shed check: observing only
+	// admitted requests would make overload latency look artificially
+	// healthy exactly when it matters.
+	t0 := time.Now()
+	defer func() { s.m.latency.Observe(time.Since(t0).Seconds()) }()
+
 	// Load shedding: reject immediately when MaxInFlight analyses are
 	// already running — a bounded queue beats an unbounded pile-up.
 	select {
@@ -350,9 +387,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.sem }()
 	s.m.inflight.Inc()
 	defer s.m.inflight.Dec()
-
-	t0 := time.Now()
-	defer func() { s.m.latency.Observe(time.Since(t0).Seconds()) }()
 
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes))
 	if err != nil {
@@ -381,50 +415,111 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	explain := q.Get("explain")
 	wantTelemetry := q.Get("telemetry") == "1"
-	cacheable := explain == "" && !wantTelemetry && s.cache != nil
 
-	key := vrange.HashBytes(src)
-	if cacheable {
-		if body, ok := s.cache.get(key); ok {
-			s.m.cacheHits.Inc()
-			s.countOutcome("cache_hit")
-			s.logAnalyze(r, "cache_hit", "hit", t0, nil)
-			s.writeBody(w, http.StatusOK, body)
-			return
-		}
-		s.m.cacheMisses.Inc()
-	} else {
-		s.m.cacheBypass.Inc()
+	if explain == "" && !wantTelemetry {
+		status, outcome, disp, body, resp := s.analyzePlain(r.Context(), src)
+		s.countOutcome(outcome)
+		s.logAnalyze(r, outcome, disp, t0, resp)
+		s.writeBody(w, status, body)
+		return
 	}
 
+	// Explain and telemetry responses carry per-run payloads, so they
+	// bypass the response cache entirely.
+	s.m.cacheBypass.Inc()
 	resp, status, outcome, errResp := s.analyze(r.Context(), src, explain, wantTelemetry)
 	s.countOutcome(outcome)
 	if errResp != nil {
-		s.logAnalyze(r, outcome, cacheDisposition(cacheable), t0, nil)
+		s.logAnalyze(r, outcome, "bypass", t0, nil)
 		s.writeJSON(w, status, errResp)
 		return
 	}
-
-	body, err := json.Marshal(resp)
-	if err != nil { // cannot happen for these types; fail loudly anyway
-		s.writeError(w, http.StatusInternalServerError, "encode", err.Error())
-		return
-	}
-	body = append(body, '\n')
-	if cacheable {
-		if evicted := s.cache.put(key, body); evicted > 0 {
-			s.m.cacheEvictions.Add(int64(evicted))
-		}
-	}
-	s.logAnalyze(r, outcome, cacheDisposition(cacheable), t0, resp)
-	s.writeBody(w, status, body)
+	s.logAnalyze(r, outcome, "bypass", t0, resp)
+	s.writeBody(w, status, marshalBody(resp))
 }
 
-func cacheDisposition(cacheable bool) string {
-	if cacheable {
-		return "miss"
+// testHookHashSource, when non-nil, may override the response-cache
+// fingerprint of a source. Test-only: the collision tests force two
+// different programs onto one digest to prove the source-equality
+// confirm serves a fresh analysis rather than the colliding body
+// (mirroring vrange's testFingerprintHook).
+var testHookHashSource func(src []byte) (uint64, bool)
+
+func hashSource(src []byte) uint64 {
+	if testHookHashSource != nil {
+		if h, ok := testHookHashSource(src); ok {
+			return h
+		}
 	}
-	return "bypass"
+	return vrange.HashBytes(src)
+}
+
+// cacheProbe looks src up in the response cache and returns the request's
+// cache disposition: "hit" (body is the cached response), "miss", or
+// "bypass" (caching disabled). Hit/miss/bypass/collision counters are
+// maintained here so /v1/analyze and batch items count identically.
+func (s *Server) cacheProbe(src []byte) (key uint64, body []byte, disp string) {
+	if s.cache == nil {
+		s.m.cacheBypass.Inc()
+		return 0, nil, "bypass"
+	}
+	key = hashSource(src)
+	cached, ok, collided := s.cache.get(key, src)
+	if collided {
+		s.m.cacheCollisions.Inc()
+	}
+	if ok {
+		s.m.cacheHits.Inc()
+		return key, cached, "hit"
+	}
+	s.m.cacheMisses.Inc()
+	return key, nil, "miss"
+}
+
+// cacheFill stores a successful plain response body under (key, src).
+func (s *Server) cacheFill(key uint64, src, body []byte) {
+	if s.cache == nil {
+		return
+	}
+	evicted, collided := s.cache.put(key, src, body)
+	if evicted > 0 {
+		s.m.cacheEvictions.Add(int64(evicted))
+	}
+	if collided {
+		s.m.cacheCollisions.Inc()
+	}
+}
+
+// marshalBody serializes a response value exactly as writeJSON does
+// (compact JSON plus trailing newline), so cached bodies, batch items and
+// direct writes are all byte-identical.
+func marshalBody(v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil { // cannot happen for these types; fail loudly anyway
+		body, _ = json.Marshal(&errorResponse{Error: err.Error(), Stage: "encode"})
+	}
+	return append(body, '\n')
+}
+
+// analyzePlain serves one plain analysis (no explain, no telemetry
+// attachment) through the response cache. It is the shared core of
+// /v1/analyze and each /v1/analyze-batch item: callers get the HTTP
+// status, outcome label, cache disposition, the exact response body, and
+// — when a fresh analysis succeeded — the decoded response for logging.
+func (s *Server) analyzePlain(ctx context.Context, src []byte) (status int, outcome, disp string, body []byte, resp *AnalyzeResponse) {
+	key, cached, disp := s.cacheProbe(src)
+	if disp == "hit" {
+		return http.StatusOK, "cache_hit", disp, cached, nil
+	}
+	r, status, outcome, errResp := s.analyze(ctx, src, "", false)
+	if errResp != nil {
+		return status, outcome, disp, marshalBody(errResp), nil
+	}
+	body = marshalBody(r)
+	if disp == "miss" {
+		s.cacheFill(key, src, body)
+	}
+	return status, outcome, disp, body, r
 }
 
 // analyze compiles and analyzes src, threading the run's telemetry into
@@ -434,13 +529,24 @@ func (s *Server) analyze(ctx context.Context, src []byte, explain string, wantTe
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, "compile_error", &errorResponse{Error: err.Error(), Stage: "compile"}
 	}
+	return s.analyzeCompiled(ctx, prog, explain, wantTelemetry)
+}
 
+// analyzeCompiled runs VRP on an already compiled program (the batch
+// pipeline compiles item i+1 while this analyzes item i).
+func (s *Server) analyzeCompiled(ctx context.Context, prog *vrp.Program, explain string, wantTelemetry bool) (*AnalyzeResponse, int, string, *errorResponse) {
 	if s.cfg.AnalyzeTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.AnalyzeTimeout)
 		defer cancel()
 	}
 	opts := []vrp.Option{vrp.WithTelemetry(), vrp.WithWorkers(s.cfg.Workers)}
+	// Telemetry snapshots include per-function run events, which a store
+	// splice deliberately does not replay — so telemetry requests skip
+	// the store to keep their snapshots faithful to a real full run.
+	if s.fstore != nil && !wantTelemetry {
+		opts = append(opts, vrp.WithFuncStore(s.fstore))
+	}
 	analysis, err := prog.AnalyzeContext(ctx, opts...)
 	if err != nil {
 		status, outcome := http.StatusInternalServerError, "analysis_error"
@@ -519,6 +625,167 @@ func lastColon(s string) int {
 		}
 	}
 	return -1
+}
+
+// ---------------------------------------------------------------- batch
+
+// MaxBatchPrograms bounds one /v1/analyze-batch request.
+const MaxBatchPrograms = 64
+
+// batchRequest is the JSON body of POST /v1/analyze-batch.
+type batchRequest struct {
+	Programs []string `json:"programs"`
+}
+
+// batchItem is one program's result. Status is the HTTP status the same
+// program POSTed to /v1/analyze would have produced, and Body is
+// byte-identical to that response's body.
+type batchItem struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// batchResponse is the JSON body of a successful batch request. The
+// envelope itself is 200 even when individual items failed; per-item
+// status lives in each result.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+// handleAnalyzeBatch serves POST /v1/analyze-batch: N plain analyses in
+// one request, sharing one in-flight slot and the warm response cache and
+// per-function store. Items are processed in order, but as a two-stage
+// pipeline: a producer goroutine runs the cheap front half (validation,
+// cache probe, parse→SSA) of item i+1 while this goroutine runs VRP on
+// item i.
+func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "", "POST a JSON batch to /v1/analyze-batch")
+		return
+	}
+
+	// As with /v1/analyze, timing starts before the shed check so 429s
+	// are visible in the batch latency histogram.
+	t0 := time.Now()
+	defer func() { s.m.batchLatency.Observe(time.Since(t0).Seconds()) }()
+
+	// One batch holds one in-flight slot: its items run sequentially
+	// (pipelined against compilation), so however large, it occupies a
+	// single analysis lane.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "", "server at capacity, retry later")
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.inflight.Inc()
+	defer s.m.inflight.Dec()
+
+	maxBody := s.cfg.MaxSourceBytes * MaxBatchPrograms
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "read",
+				fmt.Sprintf("batch exceeds %d bytes", maxBody))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "read", err.Error())
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "read", "bad batch JSON: "+err.Error())
+		return
+	}
+	if len(req.Programs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "read", `empty batch: want {"programs": ["...", ...]}`)
+		return
+	}
+	if len(req.Programs) > MaxBatchPrograms {
+		s.writeError(w, http.StatusBadRequest, "read",
+			fmt.Sprintf("batch of %d programs exceeds the %d-program cap", len(req.Programs), MaxBatchPrograms))
+		return
+	}
+	s.m.batchSize.Observe(float64(len(req.Programs)))
+
+	if s.testHookAnalyze != nil {
+		s.testHookAnalyze()
+	}
+
+	// batchJob carries one item through the pipeline. Stage one resolves
+	// it outright (validation failure, cache hit, compile error → body
+	// set) or hands over a compiled program for stage two to analyze.
+	type batchJob struct {
+		src     []byte
+		key     uint64
+		disp    string
+		status  int
+		outcome string
+		body    []byte       // non-nil: resolved by stage one
+		prog    *vrp.Program // non-nil: ready for VRP
+	}
+	jobs := make(chan *batchJob, len(req.Programs))
+	go func() {
+		defer close(jobs)
+		for _, p := range req.Programs {
+			job := &batchJob{src: []byte(p), disp: "bypass"}
+			switch {
+			case len(job.src) == 0:
+				job.status, job.outcome = http.StatusBadRequest, "empty"
+				job.body = marshalBody(&errorResponse{Error: "empty body: POST Mini source", Stage: "read"})
+			case int64(len(job.src)) > s.cfg.MaxSourceBytes:
+				job.status, job.outcome = http.StatusRequestEntityTooLarge, "too_large"
+				job.body = marshalBody(&errorResponse{
+					Error: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes), Stage: "read"})
+			default:
+				s.m.srcBytes.Observe(float64(len(job.src)))
+				var cached []byte
+				job.key, cached, job.disp = s.cacheProbe(job.src)
+				if job.disp == "hit" {
+					job.status, job.outcome, job.body = http.StatusOK, "cache_hit", cached
+					break
+				}
+				prog, err := vrp.Compile("request.mini", string(job.src))
+				if err != nil {
+					job.status, job.outcome = http.StatusUnprocessableEntity, "compile_error"
+					job.body = marshalBody(&errorResponse{Error: err.Error(), Stage: "compile"})
+					break
+				}
+				job.prog = prog
+			}
+			jobs <- job
+		}
+	}()
+
+	results := make([]batchItem, 0, len(req.Programs))
+	for job := range jobs {
+		if job.body == nil {
+			resp, status, outcome, errResp := s.analyzeCompiled(r.Context(), job.prog, "", false)
+			job.status, job.outcome = status, outcome
+			if errResp != nil {
+				job.body = marshalBody(errResp)
+			} else {
+				job.body = marshalBody(resp)
+				if job.disp == "miss" {
+					s.cacheFill(job.key, job.src, job.body)
+				}
+			}
+		}
+		s.countOutcome(job.outcome)
+		// Bodies are compact json.Marshal output, so embedding them as a
+		// RawMessage (minus the framing newline) re-serializes to the
+		// exact same bytes /v1/analyze sent.
+		results = append(results, batchItem{
+			Status: job.status,
+			Body:   json.RawMessage(bytes.TrimSuffix(job.body, []byte("\n"))),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, &batchResponse{Results: results})
 }
 
 // logAnalyze emits the analysis-specific log record (the instrument

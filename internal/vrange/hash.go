@@ -57,6 +57,16 @@ func (s *Hasher) Add(v Value) {
 	}
 }
 
+// AddWord folds one raw 64-bit word into the hash. Composite keys (the
+// per-function store's body × input × config fingerprint) use it to mix
+// pre-hashed components without re-encoding them.
+func (s *Hasher) AddWord(w uint64) { s.word(w) }
+
+// AddBytes folds a byte string into the hash via its HashBytes digest
+// (which folds the length last), so byte-string components of a
+// composite key cannot collide with their prefix extensions.
+func (s *Hasher) AddBytes(data []byte) { s.word(HashBytes(data)) }
+
 // Sum returns the accumulated hash.
 func (s *Hasher) Sum() uint64 { return s.h }
 

@@ -225,6 +225,20 @@ func Const(c int64) Value {
 	return Value{kind: Set, Ranges: []Range{Point(1, Num(c))}}
 }
 
+// Detach returns a bit-identical copy whose Ranges backing array is
+// freshly allocated. Kind and intern id are preserved: ids are globally
+// unique and never reused, so a detached copy still short-circuits
+// BitEqual against its original. Callers that retain values beyond the
+// analysis that produced them (the server's cross-request function
+// store) detach so that arena recycling or in-place demotion of the
+// original can never reach through a shared slice.
+func (v Value) Detach() Value {
+	if len(v.Ranges) == 0 {
+		return v
+	}
+	return Value{kind: v.kind, id: v.id, Ranges: append(make([]Range, 0, len(v.Ranges)), v.Ranges...)}
+}
+
 // Symbolic returns {1[v:v:0]}: exactly the value of SSA variable v. A copy
 // has this range relative to its source, which is how copy propagation is
 // subsumed (§6).

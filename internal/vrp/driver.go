@@ -77,6 +77,7 @@ type statCounters struct {
 	subOps        int64
 	funcsAnalyzed int64
 	funcsSkipped  int64
+	funcsSpliced  int64
 	funcsDegraded int64
 }
 
@@ -89,6 +90,7 @@ func (s *statCounters) addAtomic(l *statCounters) {
 	atomic.AddInt64(&s.subOps, l.subOps)
 	atomic.AddInt64(&s.funcsAnalyzed, l.funcsAnalyzed)
 	atomic.AddInt64(&s.funcsSkipped, l.funcsSkipped)
+	atomic.AddInt64(&s.funcsSpliced, l.funcsSpliced)
 	atomic.AddInt64(&s.funcsDegraded, l.funcsDegraded)
 }
 
@@ -150,6 +152,15 @@ type driver struct {
 	// per function per wave, barriers between passes.
 	scratch []*engineScratch
 
+	// bodyEnc/bodyFPs lazily cache each function's canonical body
+	// encoding and fingerprint for Config.FuncStore keys (nil slices when
+	// no store is configured). Slots follow the per-function ownership
+	// discipline of results/prevIn: one task per function per wave, wave
+	// barriers between fills and later reads.
+	bodyEnc  [][]byte
+	bodyFPs  []uint64
+	configFP uint64
+
 	// rec is the run's telemetry recorder, nil when disabled. Counters
 	// and events go into per-function slots (owned by the task analyzing
 	// the function, like results and diags), so enabled telemetry is
@@ -180,6 +191,11 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 		rec:      cfg.Telemetry,
 	}
 	d.scratch = make([]*engineScratch, n)
+	if cfg.FuncStore != nil {
+		d.bodyEnc = make([][]byte, n)
+		d.bodyFPs = make([]uint64, n)
+		d.configFP = configFingerprint(cfg)
+	}
 	if d.rec != nil {
 		names := make([]string, n)
 		for i, f := range cg.Funcs {
@@ -397,6 +413,7 @@ func (d *driver) fillStats(s *Stats) {
 	s.SubOps = d.stats.subOps
 	s.FuncsAnalyzed = d.stats.funcsAnalyzed
 	s.FuncsSkipped = d.stats.funcsSkipped
+	s.FuncsSpliced = d.stats.funcsSpliced
 	s.FuncsDegraded = d.stats.funcsDegraded
 	s.RecWidens = d.ip.recWidens.Load()
 }
@@ -586,6 +603,36 @@ func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 			}
 			continue
 		}
+		// Cross-request store: a hit with a confirmed key (same body, same
+		// callee binding, bit-equal inputs, same config) replays a prior
+		// run's outputs — by the same determinism argument as the skip
+		// above, a fresh engine run would reproduce them bit for bit. The
+		// interprocedural update and the effort counters are replayed too,
+		// so downstream passes and reported Stats match a cold run exactly.
+		var sKey *FuncKey
+		if d.cfg.FuncStore != nil {
+			sKey = d.funcKey(fi, in)
+			if sf, ok := d.cfg.FuncStore.Lookup(sKey); ok {
+				if fr, bf, ok := d.spliceStored(fi, sf); ok {
+					d.results[fi] = fr
+					if d.ip.update(fi, fr.Val, bf, calc) {
+						changed = true
+					}
+					d.prevIn[fi] = in.vec
+					d.prevFP[fi] = in.hash
+					local.funcsAnalyzed++
+					local.funcsSpliced++
+					local.exprEvals += sf.ExprEvals
+					local.phiEvals += sf.PhiEvals
+					local.flowVisits += sf.FlowVisits
+					local.derivedLoops += sf.DerivedLoops
+					local.failedDerives += sf.FailedDerives
+					local.subOps += calc.SubOps + sf.SubOps
+					continue
+				}
+			}
+		}
+		subOps0 := calc.SubOps
 		var rm *telemetry.RunMetrics
 		var t0 int64
 		if d.rec != nil {
@@ -657,6 +704,12 @@ func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 			continue
 		}
 		d.results[fi] = eng.result()
+		if sKey != nil {
+			// Record before ip.update so SubOps covers the engine alone; the
+			// splice path re-executes the update live and counts its own.
+			d.cfg.FuncStore.Store(sKey.Detach(),
+				encodeStored(d.cg.Funcs[fi], d.results[fi], eng.blkFreq, eng.stats, calc.SubOps-subOps0))
+		}
 		if d.ip.update(fi, eng.val, eng.blockFreq, eng.calc) {
 			changed = true
 		}

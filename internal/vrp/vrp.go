@@ -95,6 +95,16 @@ type Config struct {
 	// means context.Background(). AnalyzeContext overrides it.
 	Ctx context.Context
 
+	// FuncStore, when non-nil, is consulted before every engine run and
+	// populated after every successful one: a cross-request per-function
+	// result store keyed on (body fingerprint × interprocedural-input
+	// fingerprint × config fingerprint) with full-key confirmation on
+	// every hit (see store.go). A confirmed hit splices the stored
+	// FuncResult instead of re-running the engine — bit-identical to a
+	// cold run, including replayed effort Stats. The store must only be
+	// shared between runs with an identical Config.
+	FuncStore FuncStore
+
 	// Telemetry, when non-nil, collects per-function metrics, trace
 	// spans and histograms for the run; the aggregated snapshot is
 	// attached to Result.Telemetry. A Recorder serves one analysis run
@@ -143,6 +153,12 @@ type Stats struct {
 	// (bit-identical interprocedural inputs since the last run).
 	FuncsAnalyzed int64
 	FuncsSkipped  int64
+
+	// FuncsSpliced counts the subset of FuncsAnalyzed served by splicing
+	// a Config.FuncStore entry instead of running the engine (spliced
+	// runs replay the stored run's effort into the other counters, so
+	// every Stats field except this one matches a cold run bit for bit).
+	FuncsSpliced int64
 
 	// Converged reports that the interprocedural fixpoint actually
 	// reached a fixed point within MaxPasses. When false, every surviving

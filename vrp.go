@@ -158,6 +158,24 @@ func WithWorkers(n int) Option {
 	return func(c *corevrp.Config) { c.Workers = n }
 }
 
+// FuncStore is the cross-request per-function result store interface
+// (see internal/vrp/store.go): entries key on a function's body
+// fingerprint × interprocedural-input fingerprint × config fingerprint,
+// and every hit is confirmed against the full stored key before being
+// served. vrpd implements it over a bounded LRU so editing one function
+// of a large program re-analyzes only the dirty cone.
+type FuncStore = corevrp.FuncStore
+
+// WithFuncStore attaches a cross-request per-function result store to
+// the analysis: functions whose (body, interprocedural inputs, config)
+// key confirms against a stored entry are spliced from it instead of
+// re-running the engine, bit-identical to a cold run — replayed effort
+// counters included. A store must only be shared between analyses using
+// an identical configuration.
+func WithFuncStore(st FuncStore) Option {
+	return func(c *corevrp.Config) { c.FuncStore = st }
+}
+
 // WithContext attaches a cancellation context to the analysis, equivalent
 // to calling AnalyzeContext with it. Cancellation aborts the run with a
 // typed *AnalysisError carrying partial stats.
