@@ -17,14 +17,19 @@
 //	-funcstore N           per-function result-store buckets (0 disables)
 //	-timeout D             per-analysis timeout (0 = none)
 //	-workers N             per-analysis engine parallelism (0 = one per CPU)
+//	-slo-latency D         latency target for vrpd_slo_* burn gauges
+//	                       (default 250ms, 0 disables)
+//	-recorder N            flight-recorder entries (default 256, 0 disables)
 //	-drain D               shutdown drain budget (default 10s)
 //	-log text|json         request log format (default json)
 //
 // Endpoints: POST /v1/analyze (Mini source → predictions JSON;
 // ?explain=func:line, ?telemetry=1), POST /v1/analyze-batch
 // ({"programs": [...]} → per-program results, pipelined over one warm
-// store), GET /metrics, /healthz, /readyz, /debug/pprof. See README
-// "Running the server".
+// store), GET /metrics, /healthz, /readyz, /debug/vrpd/requests (flight
+// recorder index), /debug/vrpd/trace/{id} (Chrome trace of one retained
+// request), /debug/pprof. See README "Running the server" and "Debugging
+// a slow request".
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 		storeSize = flag.Int("funcstore", server.DefaultFuncStoreEntries, "per-function result store buckets (0 disables incremental reuse)")
 		timeout   = flag.Duration("timeout", 0, "per-analysis timeout (0 = none)")
 		workers   = flag.Int("workers", 0, "per-analysis engine workers (0 = one per CPU)")
+		sloTarget = flag.Duration("slo-latency", server.DefaultSLOLatency, "latency target behind the vrpd_slo_* burn gauges (0 disables)")
+		recEnts   = flag.Int("recorder", server.DefaultRecorderEntries, "flight-recorder retained requests (0 disables /debug/vrpd)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		logFormat = flag.String("log", "json", "request log format: json or text")
 	)
@@ -74,6 +81,14 @@ func main() {
 	if storeEntries == 0 {
 		storeEntries = -1
 	}
+	recorderEntries := *recEnts
+	if recorderEntries == 0 {
+		recorderEntries = -1
+	}
+	slo := *sloTarget
+	if slo == 0 {
+		slo = -1
+	}
 	srv := server.New(server.Config{
 		MaxInFlight:      *inflight,
 		MaxSourceBytes:   *maxSource,
@@ -81,6 +96,8 @@ func main() {
 		FuncStoreEntries: storeEntries,
 		AnalyzeTimeout:   *timeout,
 		Workers:          *workers,
+		SLOLatency:       slo,
+		RecorderEntries:  recorderEntries,
 		Logger:           logger,
 	})
 

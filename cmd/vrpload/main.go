@@ -13,6 +13,11 @@
 //	       requests, exercising the pipelined endpoint over the same
 //	       warm store.
 //
+// Each phase also records the server's 429-shed delta and a breakdown of
+// errors by status code, and after the run the report carries the flight
+// recorder's view of the slowest retained request (its phase timings and
+// Chrome-trace size from /debug/vrpd).
+//
 // Request contents are a pure function of -seed, so two runs against
 // equal servers issue byte-identical traffic (only the timings differ).
 //
@@ -66,22 +71,37 @@ type storeStats struct {
 }
 
 type phaseReport struct {
-	Name          string     `json:"name"`
-	Requests      int        `json:"requests"`
-	Errors        int        `json:"errors"`
-	DurationMS    float64    `json:"duration_ms"`
-	ThroughputRPS float64    `json:"throughput_rps"`
-	Latency       latencyMS  `json:"latency_ms"`
-	FuncStore     storeStats `json:"funcstore"`
-	Cache         storeStats `json:"cache"`
+	Name          string         `json:"name"`
+	Requests      int            `json:"requests"`
+	Errors        int            `json:"errors"`
+	ErrorStatus   map[string]int `json:"error_status,omitempty"` // status code (or "transport") → count
+	Shed          int64          `json:"shed"`                   // vrpd_requests_shed_total delta across the phase
+	DurationMS    float64        `json:"duration_ms"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       latencyMS      `json:"latency_ms"`
+	FuncStore     storeStats     `json:"funcstore"`
+	Cache         storeStats     `json:"cache"`
+}
+
+// recorderReport summarizes the server's flight recorder after the load
+// run: how much it retained and the slowest request's phase breakdown,
+// cross-checked against its Chrome trace.
+type recorderReport struct {
+	Count       int              `json:"count"`
+	SlowestID   string           `json:"slowest_id"`
+	SlowestMS   float64          `json:"slowest_ms"`
+	SlowestKeep string           `json:"slowest_keep"`
+	Phases      map[string]int64 `json:"phases_ns"`
+	TraceEvents int              `json:"trace_events"`
 }
 
 type report struct {
-	Schema      string         `json:"schema"`
-	Addr        string         `json:"addr"`
-	Gen         genprog.Config `json:"gen"`
-	Concurrency int            `json:"concurrency"`
-	Phases      []phaseReport  `json:"phases"`
+	Schema      string          `json:"schema"`
+	Addr        string          `json:"addr"`
+	Gen         genprog.Config  `json:"gen"`
+	Concurrency int             `json:"concurrency"`
+	Phases      []phaseReport   `json:"phases"`
+	Recorder    *recorderReport `json:"recorder,omitempty"`
 }
 
 var client = &http.Client{Timeout: 5 * time.Minute}
@@ -155,6 +175,8 @@ func main() {
 		rep.Phases = append(rep.Phases, runPhase(*addr, "batch", "/v1/analyze-batch", batchBodies, *conc))
 	}
 
+	rep.Recorder = scrapeRecorder(*addr)
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal("marshal report: %v", err)
@@ -165,9 +187,13 @@ func main() {
 	}
 	fmt.Printf("vrpload: wrote %s\n", *out)
 	for _, p := range rep.Phases {
-		fmt.Printf("  %-5s %3d req  %2d err  p50 %7.1fms  p99 %7.1fms  %6.2f rps  funcstore %d/%d (%.0f%%)\n",
-			p.Name, p.Requests, p.Errors, p.Latency.P50, p.Latency.P99, p.ThroughputRPS,
+		fmt.Printf("  %-5s %3d req  %2d err  %2d shed  p50 %7.1fms  p99 %7.1fms  %6.2f rps  funcstore %d/%d (%.0f%%)\n",
+			p.Name, p.Requests, p.Errors, p.Shed, p.Latency.P50, p.Latency.P99, p.ThroughputRPS,
 			p.FuncStore.Hits, p.FuncStore.Hits+p.FuncStore.Misses, 100*p.FuncStore.HitRate)
+	}
+	if rec := rep.Recorder; rec != nil {
+		fmt.Printf("  recorder: %d retained, slowest %s (%.1fms, keep=%s, %d trace events)\n",
+			rec.Count, rec.SlowestID, rec.SlowestMS, rec.SlowestKeep, rec.TraceEvents)
 	}
 
 	if *require {
@@ -220,6 +246,7 @@ func runPhase(addr, name, path string, bodies [][]byte, conc int) phaseReport {
 	before := scrape(addr)
 	durs := make([]float64, len(bodies))
 	errs := make([]bool, len(bodies))
+	statuses := make([]int, len(bodies)) // 0 = transport error
 	var wg sync.WaitGroup
 	work := make(chan int)
 	if conc < 1 {
@@ -239,6 +266,7 @@ func runPhase(addr, name, path string, bodies [][]byte, conc int) phaseReport {
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				statuses[i] = resp.StatusCode
 				if resp.StatusCode != http.StatusOK {
 					errs[i] = true
 				}
@@ -259,11 +287,20 @@ func runPhase(addr, name, path string, bodies [][]byte, conc int) phaseReport {
 		Requests:   len(bodies),
 		DurationMS: float64(total.Microseconds()) / 1e3,
 	}
-	for _, e := range errs {
+	for i, e := range errs {
 		if e {
 			p.Errors++
+			key := "transport"
+			if statuses[i] > 0 {
+				key = strconv.Itoa(statuses[i])
+			}
+			if p.ErrorStatus == nil {
+				p.ErrorStatus = map[string]int{}
+			}
+			p.ErrorStatus[key]++
 		}
 	}
+	p.Shed = after["vrpd_requests_shed_total"] - before["vrpd_requests_shed_total"]
 	if total > 0 {
 		p.ThroughputRPS = float64(len(bodies)) / total.Seconds()
 	}
@@ -289,6 +326,56 @@ func percentile(sorted []float64, q float64) float64 {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// scrapeRecorder pulls the flight recorder's slowest retained request
+// and cross-checks that its Chrome trace is servable: the load run then
+// documents not just how slow the worst request was, but which phase the
+// time went to. Returns nil (and no report section) when the recorder is
+// disabled or the scrape fails — recorder state is advisory, not a load
+// result.
+func scrapeRecorder(addr string) *recorderReport {
+	resp, err := client.Get(addr + "/debug/vrpd/requests?sort=slowest")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var idx struct {
+		Count    int `json:"count"`
+		Requests []struct {
+			ID     string           `json:"id"`
+			DurMS  float64          `json:"dur_ms"`
+			Keep   string           `json:"keep"`
+			Phases map[string]int64 `json:"phases"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil || len(idx.Requests) == 0 {
+		return nil
+	}
+	slowest := idx.Requests[0]
+	rec := &recorderReport{
+		Count:       idx.Count,
+		SlowestID:   slowest.ID,
+		SlowestMS:   slowest.DurMS,
+		SlowestKeep: slowest.Keep,
+		Phases:      slowest.Phases,
+	}
+	tresp, err := client.Get(addr + "/debug/vrpd/trace/" + slowest.ID)
+	if err != nil {
+		return rec
+	}
+	defer tresp.Body.Close()
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if tresp.StatusCode == http.StatusOK && json.NewDecoder(tresp.Body).Decode(&trace) == nil {
+		rec.TraceEvents = len(trace.TraceEvents)
+	}
+	return rec
 }
 
 // scrape fetches /metrics and returns the plain counter samples. A

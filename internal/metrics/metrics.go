@@ -166,6 +166,25 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.add("", &Gauge{}).(*Gauge)
 }
 
+// GaugeVec is a gauge family partitioned by a fixed label set (used for
+// info-style metrics such as vrpd_build_info, whose value is a constant
+// 1 and whose payload lives in the labels).
+type GaugeVec struct {
+	f      *family
+	labels []string
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, "gauge"), labels: labels}
+}
+
+// With returns the child gauge for the given label values (created on
+// first use, cached after).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.add(renderLabels(v.labels, values), &Gauge{}).(*Gauge)
+}
+
 // gaugeFunc evaluates a callback at scrape time — for derived values
 // (ratios over counters, runtime stats) that would be racy or stale as
 // stored gauges.
@@ -233,6 +252,37 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	h := &Histogram{bounds: append([]float64(nil), bounds...)}
 	h.counts = make([]atomic.Int64, len(bounds)+1)
 	return f.add("", h).(*Histogram)
+}
+
+// HistogramVec is a histogram family partitioned by a fixed label set —
+// one bucket vector per label combination, all sharing the same bounds
+// (vrpd_phase_duration_seconds{phase=...} is the motivating user).
+type HistogramVec struct {
+	f      *family
+	labels []string
+	bounds []float64
+}
+
+// HistogramVec registers a labelled histogram family over the given
+// bucket upper bounds (must be sorted ascending).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds not sorted: " + name)
+	}
+	return &HistogramVec{
+		f:      r.family(name, help, "histogram"),
+		labels: labels,
+		bounds: append([]float64(nil), bounds...),
+	}
+}
+
+// With returns the child histogram for the given label values (created
+// on first use, cached after).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	sig := renderLabels(v.labels, values)
+	h := &Histogram{bounds: v.bounds}
+	h.counts = make([]atomic.Int64, len(v.bounds)+1)
+	return v.f.add(sig, h).(*Histogram)
 }
 
 // ----------------------------------------------------------- exposition

@@ -212,3 +212,73 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+// TestGaugeVec: labelled gauges render per label signature, and With
+// returns the same child for the same values (info-gauge pattern).
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("build_info", "build identity", "version", "goversion")
+	v.With("v1.2.3", "go1.22").Set(1)
+	if v.With("v1.2.3", "go1.22") != v.With("v1.2.3", "go1.22") {
+		t.Error("With must return the cached child for equal label values")
+	}
+	v.With("v9.9.9", "go1.22").Set(1)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP build_info build identity
+# TYPE build_info gauge
+build_info{version="v1.2.3",goversion="go1.22"} 1
+build_info{version="v9.9.9",goversion="go1.22"} 1
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramVec: per-label bucket vectors share bounds, splice `le`
+// after the series labels, and keep independent counts.
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("phase_seconds", "per-phase latency", []float64{0.1, 1}, "phase")
+	v.With("parse").Observe(0.05)
+	v.With("vrp").Observe(0.5)
+	v.With("vrp").Observe(5)
+	if v.With("vrp") != v.With("vrp") {
+		t.Error("With must return the cached child for equal label values")
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP phase_seconds per-phase latency
+# TYPE phase_seconds histogram
+phase_seconds_bucket{phase="parse",le="0.1"} 1
+phase_seconds_bucket{phase="parse",le="1"} 1
+phase_seconds_bucket{phase="parse",le="+Inf"} 1
+phase_seconds_sum{phase="parse"} 0.05
+phase_seconds_count{phase="parse"} 1
+phase_seconds_bucket{phase="vrp",le="0.1"} 0
+phase_seconds_bucket{phase="vrp",le="1"} 1
+phase_seconds_bucket{phase="vrp",le="+Inf"} 2
+phase_seconds_sum{phase="vrp"} 5.5
+phase_seconds_count{phase="vrp"} 2
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramVecUnsortedPanics mirrors the unlabelled constructor's
+// sorted-bounds contract.
+func TestHistogramVecUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HistogramVec with unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().HistogramVec("bad", "unsorted", []float64{1, 0.1}, "phase")
+}

@@ -2,6 +2,9 @@ package server
 
 import (
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
 	"time"
 
 	"vrp/internal/metrics"
@@ -72,6 +75,92 @@ type serverMetrics struct {
 	internLive      *metrics.Gauge // vrpd_lattice_intern_live_entries
 	internArena     *metrics.Gauge // vrpd_lattice_intern_arena_bytes
 	internEvictions *metrics.Gauge // vrpd_lattice_intern_evictions_total
+
+	// Per-phase latency, derived from each request's span tree — the
+	// histograms and /debug/vrpd/trace/{id} are two views of the same
+	// measurements, so they can never disagree. Children are cached
+	// because the phase set is fixed at startup.
+	phaseDur map[string]*metrics.Histogram // vrpd_phase_duration_seconds{phase}
+
+	// SLO burn: sliding-window fractions of requests over the latency
+	// target, plus the lifetime over-target counter.
+	slo     *sloWindow
+	sloOver *metrics.Counter    // vrpd_slo_over_target_total
+	kept    *metrics.CounterVec // vrpd_recorder_kept_total{class}
+}
+
+// phaseNames is the fixed request-phase vocabulary: the direct children
+// the handler hangs off the root span. The driver's own sub-spans
+// (callgraph, passes, waves, engine runs, splices) nest under "vrp".
+var phaseNames = []string{"validate", "cache_probe", "parse", "ssa", "vrp", "render", "write"}
+
+// sloWindow tracks request latencies against a target in a ring of
+// per-second buckets, so burn gauges can report the fraction of requests
+// over target in the trailing 1m/5m windows. Observe is called once per
+// /v1/analyze request (sheds included: overload latency is exactly when
+// the SLO matters), so a plain mutex is cheap enough.
+type sloWindow struct {
+	target float64 // seconds; <=0 disables
+	now    func() time.Time
+
+	mu    sync.Mutex
+	stamp [sloRingSeconds]int64 // unix second owning the bucket
+	total [sloRingSeconds]int64
+	over  [sloRingSeconds]int64
+}
+
+const sloRingSeconds = 300 // the widest window served (5m)
+
+func newSLOWindow(target float64) *sloWindow {
+	return &sloWindow{target: target, now: time.Now}
+}
+
+// observe records one request latency in seconds; reports whether it
+// blew the target.
+func (w *sloWindow) observe(sec float64) bool {
+	if w == nil {
+		return false
+	}
+	now := w.now().Unix()
+	i := int(now % sloRingSeconds)
+	w.mu.Lock()
+	if w.stamp[i] != now {
+		w.stamp[i] = now
+		w.total[i] = 0
+		w.over[i] = 0
+	}
+	w.total[i]++
+	blown := w.target > 0 && sec > w.target
+	if blown {
+		w.over[i]++
+	}
+	w.mu.Unlock()
+	return blown
+}
+
+// burn returns the fraction of requests over target in the trailing
+// window (seconds, capped at the ring size); 0 with no traffic.
+func (w *sloWindow) burn(window int64) float64 {
+	if w == nil {
+		return 0
+	}
+	if window > sloRingSeconds {
+		window = sloRingSeconds
+	}
+	now := w.now().Unix()
+	var total, over int64
+	w.mu.Lock()
+	for i := 0; i < sloRingSeconds; i++ {
+		if w.stamp[i] > now-window {
+			total += w.total[i]
+			over += w.over[i]
+		}
+	}
+	w.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
 }
 
 // latencyBuckets spans sub-millisecond cache hits to multi-second
@@ -81,7 +170,7 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 
 // sourceBuckets buckets submitted program sizes in bytes.
 var sourceBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576}
 
-func newServerMetrics(start time.Time) *serverMetrics {
+func newServerMetrics(start time.Time, sloTarget float64) *serverMetrics {
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
 		reg:      reg,
@@ -129,6 +218,43 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		internArena:     reg.Gauge("vrpd_lattice_intern_arena_bytes", "Arena slab bytes backing interned representatives in the last analysis's tables."),
 		internEvictions: reg.Gauge("vrpd_lattice_intern_evictions_total", "Lifetime memo/table entries evicted by epoch resets in the last analysis's tables."),
 	}
+
+	// Per-phase latency histograms share the request-latency buckets; the
+	// children are created eagerly so a scrape shows every phase from the
+	// first exposition (and so the hot path never takes the family lock).
+	phaseVec := reg.HistogramVec("vrpd_phase_duration_seconds",
+		"Wall time of each request phase, derived from the same spans /debug/vrpd/trace serves.",
+		latencyBuckets, "phase")
+	m.phaseDur = make(map[string]*metrics.Histogram, len(phaseNames))
+	for _, p := range phaseNames {
+		m.phaseDur[p] = phaseVec.With(p)
+	}
+
+	// SLO burn gauges: the target is a constant gauge (dashboards divide
+	// by it), the burns are scrape-time reads of the sliding window, and
+	// the over-target counter is the lifetime total behind them.
+	m.slo = newSLOWindow(sloTarget)
+	m.sloOver = reg.Counter("vrpd_slo_over_target_total",
+		"Requests whose wall time exceeded the -slo-latency target.")
+	reg.Gauge("vrpd_slo_target_seconds", "The -slo-latency target (0 = SLO tracking disabled).").Set(sloTarget)
+	reg.GaugeFunc("vrpd_slo_burn_1m", "Fraction of requests over the SLO latency target in the trailing minute.",
+		func() float64 { return m.slo.burn(60) })
+	reg.GaugeFunc("vrpd_slo_burn_5m", "Fraction of requests over the SLO latency target in the trailing five minutes.",
+		func() float64 { return m.slo.burn(300) })
+
+	// Flight-recorder retention traffic by class.
+	m.kept = reg.CounterVec("vrpd_recorder_kept_total",
+		"Requests retained by the flight recorder, by retention class (interesting/slow/sample).", "class")
+
+	// Build identity as an info-style gauge: constant 1, payload in the
+	// labels, the Prometheus convention for joining version metadata.
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.GaugeVec("vrpd_build_info", "Build and runtime identity of this vrpd process (value is always 1).",
+		"version", "goversion", "gomaxprocs").
+		With(version, runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
 
 	// Scrape-time ratios, derived from the raw counters so they can never
 	// drift from them.

@@ -18,6 +18,13 @@
 //	GET  /metrics      Prometheus text exposition (internal/metrics).
 //	GET  /healthz      liveness: 200 while the process runs.
 //	GET  /readyz       readiness: 200 until Shutdown begins, then 503.
+//	GET  /debug/vrpd/requests
+//	                   flight-recorder index: the retained tail of recent
+//	                   traffic (slowest, degraded, shed, sampled), newest
+//	                   first; ?sort=slowest ranks by latency.
+//	GET  /debug/vrpd/trace/{id}
+//	                   one retained request's span tree as Chrome trace
+//	                   JSON (opens in Perfetto / chrome://tracing).
 //	     /debug/pprof  the standard net/http/pprof handlers.
 //
 // Operational behaviour:
@@ -93,6 +100,23 @@ type Config struct {
 	// parallelism. 0 picks one worker per CPU.
 	Workers int
 
+	// SLOLatency is the per-request latency target behind the vrpd_slo_*
+	// burn gauges: requests slower than this count as over-target. 0
+	// means DefaultSLOLatency; negative disables SLO tracking (the burn
+	// gauges stay at 0).
+	SLOLatency time.Duration
+
+	// RecorderEntries bounds the flight recorder's retained requests;
+	// negative disables the recorder (its endpoints 404), 0 means
+	// DefaultRecorderEntries.
+	RecorderEntries int
+
+	// RecorderSlowK is how many slowest-so-far requests the recorder
+	// always keeps; RecorderSampleN keeps a deterministic 1-in-N baseline
+	// sample of routine traffic. 0 means the defaults in recorder.go.
+	RecorderSlowK   int
+	RecorderSampleN int64
+
 	// Logger receives the structured request log. nil means
 	// slog.Default().
 	Logger *slog.Logger
@@ -103,17 +127,19 @@ const (
 	DefaultMaxInFlight    = 16
 	DefaultMaxSourceBytes = 1 << 20
 	DefaultCacheEntries   = 256
+	DefaultSLOLatency     = 250 * time.Millisecond
 )
 
 // Server is the vrpd HTTP service. Create with New, serve with
 // ListenAndServe or Serve, stop with Shutdown.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	m      *serverMetrics
-	cache  *resultCache
-	fstore *funcStore
-	sem    chan struct{}
+	cfg      Config
+	log      *slog.Logger
+	m        *serverMetrics
+	cache    *resultCache
+	fstore   *funcStore
+	recorder *flightRecorder
+	sem      chan struct{}
 
 	mux      *http.ServeMux
 	http     *http.Server
@@ -141,18 +167,29 @@ func New(cfg Config) *Server {
 	if cfg.FuncStoreEntries == 0 {
 		cfg.FuncStoreEntries = DefaultFuncStoreEntries
 	}
+	if cfg.RecorderEntries == 0 {
+		cfg.RecorderEntries = DefaultRecorderEntries
+	}
+	if cfg.SLOLatency == 0 {
+		cfg.SLOLatency = DefaultSLOLatency
+	}
+	sloTarget := cfg.SLOLatency.Seconds()
+	if sloTarget < 0 {
+		sloTarget = 0 // negative = SLO tracking disabled
+	}
 	lg := cfg.Logger
 	if lg == nil {
 		lg = slog.Default()
 	}
 	start := time.Now()
-	m := newServerMetrics(start)
+	m := newServerMetrics(start, sloTarget)
 	s := &Server{
 		cfg:      cfg,
 		log:      lg,
 		m:        m,
 		cache:    newResultCache(cfg.CacheEntries),
 		fstore:   newFuncStore(cfg.FuncStoreEntries, m),
+		recorder: newFlightRecorder(cfg.RecorderEntries, cfg.RecorderSlowK, cfg.RecorderSampleN),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		mux:      http.NewServeMux(),
 		idPrefix: strconv.FormatInt(start.UnixNano()&0xfffffff, 36),
@@ -161,11 +198,17 @@ func New(cfg Config) *Server {
 		m.reg.GaugeFunc("vrpd_funcstore_entries", "Fingerprint buckets resident in the per-function result store.",
 			func() float64 { return float64(s.fstore.len()) })
 	}
+	if s.recorder != nil {
+		m.reg.GaugeFunc("vrpd_recorder_entries", "Requests currently retained by the flight recorder.",
+			func() float64 { return float64(s.recorder.len()) })
+	}
 	s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	s.mux.Handle("/v1/analyze-batch", s.instrument("/v1/analyze-batch", s.handleAnalyzeBatch))
 	s.mux.Handle("/metrics", s.instrument("/metrics", s.m.reg.Handler().ServeHTTP))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.Handle("/debug/vrpd/requests", s.instrument("/debug/vrpd/requests", s.handleRequests))
+	s.mux.Handle("/debug/vrpd/trace/", s.instrument("/debug/vrpd/trace", s.handleTrace))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -374,6 +417,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	defer func() { s.m.latency.Observe(time.Since(t0).Seconds()) }()
 
+	// Every request carries a span tree from here down: validate →
+	// cache probe → parse → SSA → VRP (driver sub-spans nest inside) →
+	// render → write, all under one root. The tree is cheap (a handful
+	// of spans plus one per engine run), feeds the per-phase histograms,
+	// and — when the flight recorder keeps the request — is served back
+	// verbatim from /debug/vrpd/trace/{id}.
+	tr := telemetry.NewTrace()
+	root := tr.Start(telemetry.NoSpan, "request", "POST /v1/analyze")
+
 	// Load shedding: reject immediately when MaxInFlight analyses are
 	// already running — a bounded queue beats an unbounded pile-up.
 	select {
@@ -382,31 +434,41 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.m.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "", "server at capacity, retry later")
+		s.finishAnalyze(r.Context(), tr, root, 0, "shed", http.StatusTooManyRequests, nil, time.Since(t0))
 		return
 	}
 	defer func() { <-s.sem }()
 	s.m.inflight.Inc()
 	defer s.m.inflight.Dec()
 
+	vSpan := tr.Start(root, "phase", "validate")
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes))
 	if err != nil {
+		tr.End(vSpan)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.countOutcome("too_large")
 			s.writeError(w, http.StatusRequestEntityTooLarge, "read",
 				fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes))
+			s.finishAnalyze(r.Context(), tr, root, 0, "too_large", http.StatusRequestEntityTooLarge, nil, time.Since(t0))
 			return
 		}
 		s.countOutcome("read_error")
 		s.writeError(w, http.StatusBadRequest, "read", err.Error())
+		s.finishAnalyze(r.Context(), tr, root, 0, "read_error", http.StatusBadRequest, nil, time.Since(t0))
 		return
 	}
 	if len(src) == 0 {
+		tr.End(vSpan)
 		s.countOutcome("empty")
 		s.writeError(w, http.StatusBadRequest, "read", "empty body: POST Mini source")
+		s.finishAnalyze(r.Context(), tr, root, 0, "empty", http.StatusBadRequest, nil, time.Since(t0))
 		return
 	}
+	tr.Annotate(vSpan, "bytes", strconv.Itoa(len(src)))
+	tr.End(vSpan)
 	s.m.srcBytes.Observe(float64(len(src)))
+	fp := hashSource(src)
 
 	if s.testHookAnalyze != nil {
 		s.testHookAnalyze()
@@ -417,25 +479,82 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	wantTelemetry := q.Get("telemetry") == "1"
 
 	if explain == "" && !wantTelemetry {
-		status, outcome, disp, body, resp := s.analyzePlain(r.Context(), src)
+		status, outcome, disp, body, resp := s.analyzePlain(r.Context(), src, tr, root)
 		s.countOutcome(outcome)
+		wSpan := tr.Start(root, "phase", "write")
 		s.logAnalyze(r, outcome, disp, t0, resp)
 		s.writeBody(w, status, body)
+		tr.End(wSpan)
+		s.finishAnalyze(r.Context(), tr, root, fp, outcome, status, resp, time.Since(t0))
 		return
 	}
 
 	// Explain and telemetry responses carry per-run payloads, so they
 	// bypass the response cache entirely.
 	s.m.cacheBypass.Inc()
-	resp, status, outcome, errResp := s.analyze(r.Context(), src, explain, wantTelemetry)
+	resp, status, outcome, errResp := s.analyze(r.Context(), src, explain, wantTelemetry, tr, root)
 	s.countOutcome(outcome)
 	if errResp != nil {
+		wSpan := tr.Start(root, "phase", "write")
 		s.logAnalyze(r, outcome, "bypass", t0, nil)
 		s.writeJSON(w, status, errResp)
+		tr.End(wSpan)
+		s.finishAnalyze(r.Context(), tr, root, fp, outcome, status, nil, time.Since(t0))
 		return
 	}
+	rSpan := tr.Start(root, "phase", "render")
+	body := marshalBody(resp)
+	tr.End(rSpan)
+	wSpan := tr.Start(root, "phase", "write")
 	s.logAnalyze(r, outcome, "bypass", t0, resp)
-	s.writeBody(w, status, marshalBody(resp))
+	s.writeBody(w, status, body)
+	tr.End(wSpan)
+	s.finishAnalyze(r.Context(), tr, root, fp, outcome, status, resp, time.Since(t0))
+}
+
+// finishAnalyze closes the root span, folds the request's phase durations
+// into the per-phase histograms and the SLO window, and offers the
+// request to the flight recorder. It runs once per /v1/analyze request,
+// sheds and errors included, after the response has been written.
+func (s *Server) finishAnalyze(ctx context.Context, tr *telemetry.Trace, root telemetry.SpanID,
+	fp uint64, outcome string, status int, resp *AnalyzeResponse, dur time.Duration) {
+	tr.Annotate(root, "outcome", outcome)
+	tr.End(root)
+	spans := tr.Spans()
+	phases := telemetry.PhaseDurations(spans, root)
+	for name, ns := range phases {
+		if h := s.m.phaseDur[name]; h != nil {
+			h.Observe(float64(ns) / 1e9)
+		}
+	}
+	if s.m.slo.observe(dur.Seconds()) {
+		s.m.sloOver.Inc()
+	}
+	if s.recorder == nil {
+		return
+	}
+	e := &recordedRequest{
+		ID:      requestID(ctx),
+		Path:    "/v1/analyze",
+		Outcome: outcome,
+		Status:  status,
+		// Errors and sheds default to non-converged so interesting()
+		// holds; a successful response overrides from its real result.
+		Converged: status < 400,
+		DurMS:     float64(dur.Microseconds()) / 1e3,
+		Phases:    phases,
+		Spans:     spans,
+	}
+	if fp != 0 {
+		e.Fingerprint = fmt.Sprintf("%016x", fp)
+	}
+	if resp != nil {
+		e.Converged = resp.Converged
+		e.Degraded = resp.Stats.FuncsDegraded > 0
+	}
+	if class, kept := s.recorder.offer(e); kept {
+		s.m.kept.With(class).Inc()
+	}
 }
 
 // testHookHashSource, when non-nil, may override the response-cache
@@ -506,41 +625,49 @@ func marshalBody(v any) []byte {
 // /v1/analyze and each /v1/analyze-batch item: callers get the HTTP
 // status, outcome label, cache disposition, the exact response body, and
 // — when a fresh analysis succeeded — the decoded response for logging.
-func (s *Server) analyzePlain(ctx context.Context, src []byte) (status int, outcome, disp string, body []byte, resp *AnalyzeResponse) {
+func (s *Server) analyzePlain(ctx context.Context, src []byte, tr *telemetry.Trace, parent telemetry.SpanID) (status int, outcome, disp string, body []byte, resp *AnalyzeResponse) {
+	cpSpan := tr.Start(parent, "phase", "cache_probe")
 	key, cached, disp := s.cacheProbe(src)
+	if tr != nil {
+		tr.Annotate(cpSpan, "disposition", disp)
+		tr.End(cpSpan)
+	}
 	if disp == "hit" {
 		return http.StatusOK, "cache_hit", disp, cached, nil
 	}
-	r, status, outcome, errResp := s.analyze(ctx, src, "", false)
+	r, status, outcome, errResp := s.analyze(ctx, src, "", false, tr, parent)
 	if errResp != nil {
 		return status, outcome, disp, marshalBody(errResp), nil
 	}
+	rSpan := tr.Start(parent, "phase", "render")
 	body = marshalBody(r)
 	if disp == "miss" {
 		s.cacheFill(key, src, body)
 	}
+	tr.End(rSpan)
 	return status, outcome, disp, body, r
 }
 
 // analyze compiles and analyzes src, threading the run's telemetry into
 // the lattice metrics. It returns either a response or an error body.
-func (s *Server) analyze(ctx context.Context, src []byte, explain string, wantTelemetry bool) (*AnalyzeResponse, int, string, *errorResponse) {
-	prog, err := vrp.Compile("request.mini", string(src))
+func (s *Server) analyze(ctx context.Context, src []byte, explain string, wantTelemetry bool, tr *telemetry.Trace, parent telemetry.SpanID) (*AnalyzeResponse, int, string, *errorResponse) {
+	prog, err := vrp.CompileWith("request.mini", string(src), vrp.CompileOptions{Trace: tr, TraceParent: parent})
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, "compile_error", &errorResponse{Error: err.Error(), Stage: "compile"}
 	}
-	return s.analyzeCompiled(ctx, prog, explain, wantTelemetry)
+	return s.analyzeCompiled(ctx, prog, explain, wantTelemetry, tr, parent)
 }
 
 // analyzeCompiled runs VRP on an already compiled program (the batch
 // pipeline compiles item i+1 while this analyzes item i).
-func (s *Server) analyzeCompiled(ctx context.Context, prog *vrp.Program, explain string, wantTelemetry bool) (*AnalyzeResponse, int, string, *errorResponse) {
+func (s *Server) analyzeCompiled(ctx context.Context, prog *vrp.Program, explain string, wantTelemetry bool, tr *telemetry.Trace, parent telemetry.SpanID) (*AnalyzeResponse, int, string, *errorResponse) {
 	if s.cfg.AnalyzeTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.AnalyzeTimeout)
 		defer cancel()
 	}
-	opts := []vrp.Option{vrp.WithTelemetry(), vrp.WithWorkers(s.cfg.Workers)}
+	vrpSpan := tr.Start(parent, "phase", "vrp")
+	opts := []vrp.Option{vrp.WithTelemetry(), vrp.WithWorkers(s.cfg.Workers), vrp.WithTrace(tr, vrpSpan)}
 	// Telemetry snapshots include per-function run events, which a store
 	// splice deliberately does not replay — so telemetry requests skip
 	// the store to keep their snapshots faithful to a real full run.
@@ -548,6 +675,7 @@ func (s *Server) analyzeCompiled(ctx context.Context, prog *vrp.Program, explain
 		opts = append(opts, vrp.WithFuncStore(s.fstore))
 	}
 	analysis, err := prog.AnalyzeContext(ctx, opts...)
+	tr.End(vrpSpan)
 	if err != nil {
 		status, outcome := http.StatusInternalServerError, "analysis_error"
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -765,7 +893,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]batchItem, 0, len(req.Programs))
 	for job := range jobs {
 		if job.body == nil {
-			resp, status, outcome, errResp := s.analyzeCompiled(r.Context(), job.prog, "", false)
+			resp, status, outcome, errResp := s.analyzeCompiled(r.Context(), job.prog, "", false, nil, telemetry.NoSpan)
 			job.status, job.outcome = status, outcome
 			if errResp != nil {
 				job.body = marshalBody(errResp)

@@ -175,7 +175,13 @@ type driver struct {
 }
 
 func newDriver(p *ir.Program, cfg Config) *driver {
+	cgSpan := cfg.Trace.Start(cfg.TraceParent, "driver", "callgraph")
 	cg := callgraph.Build(p)
+	if cfg.Trace != nil {
+		cfg.Trace.Annotate(cgSpan, "funcs", strconv.Itoa(cg.NumFuncs()))
+		cfg.Trace.Annotate(cgSpan, "sccs", strconv.Itoa(len(cg.SCCs)))
+		cfg.Trace.End(cgSpan)
+	}
 	n := cg.NumFuncs()
 	d := &driver{
 		prog:     p,
@@ -250,6 +256,10 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 		if d.rec != nil {
 			passStart = d.rec.Now()
 		}
+		var passSpan telemetry.SpanID = telemetry.NoSpan
+		if d.cfg.Trace != nil {
+			passSpan = d.cfg.Trace.Start(d.cfg.TraceParent, "driver", "pass "+strconv.Itoa(pass))
+		}
 		for wi, wave := range d.cg.Waves {
 			if d.cancelled.Load() || ctx.Err() != nil {
 				d.cancelled.Store(true)
@@ -259,7 +269,12 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 			if d.rec != nil {
 				waveStart = d.rec.Now()
 			}
-			d.runWave(wi, wave)
+			var waveSpan telemetry.SpanID = telemetry.NoSpan
+			if d.cfg.Trace != nil {
+				waveSpan = d.cfg.Trace.Start(passSpan, "driver", "wave "+strconv.Itoa(wi))
+			}
+			d.runWave(wi, wave, waveSpan)
+			d.cfg.Trace.End(waveSpan)
 			if d.rec != nil {
 				d.rec.EmitDriver(telemetry.Event{
 					Name: "wave " + strconv.Itoa(wi), Cat: "wave", Ph: "X",
@@ -268,6 +283,10 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 					Start: waveStart, Dur: d.rec.Now() - waveStart,
 				})
 			}
+		}
+		if d.cfg.Trace != nil {
+			d.cfg.Trace.Annotate(passSpan, "changed", strconv.FormatBool(d.changed.Load()))
+			d.cfg.Trace.End(passSpan)
 		}
 		if d.rec != nil {
 			d.rec.EmitDriver(telemetry.Event{
@@ -461,8 +480,10 @@ func (d *driver) demoteUnconverged(passes int) {
 }
 
 // runWave analyzes every SCC of one wave, concurrently when the pool and
-// the wave allow it.
-func (d *driver) runWave(wi int, wave []int) {
+// the wave allow it. waveSpan parents the per-SCC engine/splice spans;
+// each worker slot draws its own trace lane so concurrent engine runs
+// render on separate rows.
+func (d *driver) runWave(wi int, wave []int, waveSpan telemetry.SpanID) {
 	nw := d.workers
 	if nw > len(wave) {
 		nw = len(wave)
@@ -473,7 +494,7 @@ func (d *driver) runWave(wi int, wave []int) {
 			if d.cancelled.Load() {
 				return
 			}
-			d.runSCC(wi, scc, it)
+			d.runSCC(wi, scc, it, waveSpan, 1)
 		}
 		return
 	}
@@ -484,6 +505,7 @@ func (d *driver) runWave(wi int, wave []int) {
 		// Resolve the slot's table on the driver goroutine (lazy creation
 		// must not race); the barrier below ends the slot's ownership.
 		it := d.table(w)
+		lane := int32(w + 1)
 		go func() {
 			defer wg.Done()
 			for {
@@ -491,7 +513,7 @@ func (d *driver) runWave(wi int, wave []int) {
 				if i >= len(wave) || d.cancelled.Load() {
 					return
 				}
-				d.runSCC(wi, wave[i], it)
+				d.runSCC(wi, wave[i], it, waveSpan, lane)
 			}
 		}()
 	}
@@ -576,7 +598,7 @@ func (d *driver) releaseTables() {
 // run is panic-isolated: a panic (or an exhausted step budget) degrades
 // that one function to the ⊥/heuristic fallback and quarantines it,
 // instead of killing the process from a worker goroutine.
-func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
+func (d *driver) runSCC(wi, scc int, it *vrange.Interner, waveSpan telemetry.SpanID, lane int32) {
 	var local statCounters
 	changed := false
 	for _, fi := range d.sccFuncs[scc] {
@@ -613,6 +635,10 @@ func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 		if d.cfg.FuncStore != nil {
 			sKey = d.funcKey(fi, in)
 			if sf, ok := d.cfg.FuncStore.Lookup(sKey); ok {
+				var spliceSpan telemetry.SpanID = telemetry.NoSpan
+				if d.cfg.Trace != nil {
+					spliceSpan = d.cfg.Trace.StartLane(waveSpan, lane, "splice", d.cg.Funcs[fi].Name)
+				}
 				if fr, bf, ok := d.spliceStored(fi, sf); ok {
 					d.results[fi] = fr
 					if d.ip.update(fi, fr.Val, bf, calc) {
@@ -628,8 +654,14 @@ func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 					local.derivedLoops += sf.DerivedLoops
 					local.failedDerives += sf.FailedDerives
 					local.subOps += calc.SubOps + sf.SubOps
+					d.cfg.Trace.End(spliceSpan)
 					continue
 				}
+				// Confirmed lookup that failed reconstruction: the engine
+				// runs below; close the splice span so the trace shows the
+				// attempt without claiming the time.
+				d.cfg.Trace.Annotate(spliceSpan, "outcome", "fallthrough")
+				d.cfg.Trace.End(spliceSpan)
 			}
 		}
 		subOps0 := calc.SubOps
@@ -639,8 +671,19 @@ func (d *driver) runSCC(wi, scc int, it *vrange.Interner) {
 			rm = d.rec.StartRun()
 			t0 = d.rec.Now()
 		}
+		var engSpan telemetry.SpanID = telemetry.NoSpan
+		if d.cfg.Trace != nil {
+			engSpan = d.cfg.Trace.StartLane(waveSpan, lane, "engine", d.cg.Funcs[fi].Name)
+		}
 		eng, panicked := d.runEngine(fi, calc, in, rm)
 		endRun := func(outcome string) {
+			if d.cfg.Trace != nil {
+				d.cfg.Trace.Annotate(engSpan, "outcome", outcome)
+				if eng != nil {
+					d.cfg.Trace.Annotate(engSpan, "steps", fmt.Sprint(eng.steps))
+				}
+				d.cfg.Trace.End(engSpan)
+			}
 			if d.rec == nil {
 				return
 			}

@@ -203,8 +203,9 @@ func EncodeFuncBody(f *ir.Func, prog *ir.Program) []byte {
 }
 
 // configFingerprint digests the Config fields that influence analysis
-// output bits. Workers and Telemetry are excluded (bit-identical by
-// contract); a custom Fallback is marked but cannot be distinguished
+// output bits. Workers, Telemetry and Trace/TraceParent are excluded
+// (bit-identical by contract — observers never feed back into the
+// lattice); a custom Fallback is marked but cannot be distinguished
 // from another custom Fallback — see the FuncStore contract.
 func configFingerprint(cfg Config) uint64 {
 	h := vrange.NewHasher()

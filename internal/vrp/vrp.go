@@ -112,6 +112,20 @@ type Config struct {
 	// disables collection at zero cost on the engine hot path.
 	Telemetry *telemetry.Recorder
 
+	// Trace, when non-nil, receives the run's request-scoped span tree:
+	// a "callgraph" span for condensation, one span per fixpoint pass
+	// and wave, one per engine run (on the worker's lane) and one per
+	// store splice, all parented under TraceParent. Unlike Telemetry,
+	// spans carry only wall-clock timings and labels — nothing reads
+	// them back, so tracing can never perturb analysis results. nil —
+	// the default — disables tracing at zero cost on the hot path.
+	Trace *telemetry.Trace
+
+	// TraceParent is the span the driver hangs its spans under (the
+	// server's per-request "vrp" phase span); telemetry.NoSpan roots
+	// them at the top of the trace.
+	TraceParent telemetry.SpanID
+
 	// noSkip disables the driver's dirty-set work skipping (test-only: the
 	// skip-soundness tests compare a full re-analysis against the
 	// incremental schedule bit for bit).
@@ -135,6 +149,7 @@ func DefaultConfig() Config {
 		FlowFirst:       true,
 		FreqEpsilon:     1e-4,
 		MaxFreq:         1e6,
+		TraceParent:     telemetry.NoSpan,
 	}
 }
 

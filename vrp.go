@@ -49,6 +49,15 @@ type Program struct {
 type CompileOptions struct {
 	// NoAssertions disables π-insertion (ablation; see DESIGN.md §5).
 	NoAssertions bool
+
+	// Trace, when non-nil, receives "parse" (parsing + semantic checks)
+	// and "ssa" (IR lowering + SSA conversion) phase spans under
+	// TraceParent, so request-scoped traces cover compilation as well as
+	// analysis. nil disables at zero cost.
+	Trace *telemetry.Trace
+	// TraceParent parents the compilation spans (telemetry.NoSpan roots
+	// them). Ignored when Trace is nil.
+	TraceParent telemetry.SpanID
 }
 
 // Compile parses, checks, lowers and SSA-converts src.
@@ -58,20 +67,28 @@ func Compile(name, src string) (*Program, error) {
 
 // CompileWith is Compile with explicit options.
 func CompileWith(name, src string, opts CompileOptions) (*Program, error) {
+	parseSpan := opts.Trace.Start(opts.TraceParent, "phase", "parse")
 	astProg, err := parser.Parse(name, src)
 	if err != nil {
+		opts.Trace.End(parseSpan)
 		return nil, fmt.Errorf("parse: %w", err)
 	}
 	if err := sem.Check(astProg); err != nil {
+		opts.Trace.End(parseSpan)
 		return nil, fmt.Errorf("check: %w", err)
 	}
+	opts.Trace.End(parseSpan)
+	ssaSpan := opts.Trace.Start(opts.TraceParent, "phase", "ssa")
 	irProg, err := irgen.Build(astProg)
 	if err != nil {
+		opts.Trace.End(ssaSpan)
 		return nil, err
 	}
 	if err := ssaform.BuildWith(irProg, ssaform.Options{NoAssertions: opts.NoAssertions}); err != nil {
+		opts.Trace.End(ssaSpan)
 		return nil, err
 	}
+	opts.Trace.End(ssaSpan)
 	return &Program{AST: astProg, IR: irProg}, nil
 }
 
@@ -213,6 +230,31 @@ func WithConfig(cfg corevrp.Config) Option {
 // analysis run: per-function counters, pass timings, histograms and trace
 // events. See Analysis.Telemetry and internal/telemetry.
 type TelemetrySnapshot = telemetry.Snapshot
+
+// TraceSpanID names one span within a Trace; see telemetry.SpanID.
+type TraceSpanID = telemetry.SpanID
+
+// RequestTrace is the request-scoped span tree: a timed tree of phases
+// (parse, SSA, driver passes/waves, per-function engine runs, store
+// splices) exportable as a Chrome trace. See telemetry.Trace.
+type RequestTrace = telemetry.Trace
+
+// NoTraceSpan is the absent parent span (roots the tree).
+const NoTraceSpan = telemetry.NoSpan
+
+// WithTrace attaches a request-scoped span tree to the analysis: the
+// driver records callgraph condensation, every fixpoint pass and wave,
+// every per-function engine run (on its worker's lane) and every store
+// splice as spans under parent. Unlike WithTelemetry the spans carry
+// only wall-clock timings and labels — nothing reads them back, so
+// tracing never perturbs analysis results — and a nil tr is the
+// disabled state at zero hot-path cost.
+func WithTrace(tr *RequestTrace, parent TraceSpanID) Option {
+	return func(c *corevrp.Config) {
+		c.Trace = tr
+		c.TraceParent = parent
+	}
+}
 
 // WithTelemetry enables instrumentation for the run: engine counters
 // (worklist pushes and peaks, φ-merges, widenings, assertion
