@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet race fmt check bench bench-gate accuracy serve loadtest
+.PHONY: build test vet race fmt check bench bench-gate bench-scale accuracy serve loadtest
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ bench:
 # (quick sizes plus the generated ≥10k-instruction tier).
 bench-gate:
 	$(GO) run ./cmd/vrpbench -lattice -gate -quick
+
+# Mega-scale pipeline benchmark: one full lex→parse→sem→ssaform→VRP run
+# per generated tier (10k/100k/1M instructions), with the near-linear
+# scaling gate (gen-100k ns/instr ≤ 2× gen-10k). Writes BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/vrpbench -scale -gate
 
 # Per-predictor miss rates and errors: writes BENCH_accuracy.json.
 accuracy:

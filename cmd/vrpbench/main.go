@@ -14,6 +14,7 @@
 //	vrpbench -ablations DESIGN.md §5 ablation table
 //	vrpbench -bench     machine-readable driver benchmark (BENCH_driver.json)
 //	vrpbench -accuracy  per-predictor miss rates and errors (BENCH_accuracy.json)
+//	vrpbench -scale     mega-scale pipeline benchmark over generated 10k/100k/1M-instruction tiers (BENCH_scale.json)
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"vrp"
 	"vrp/internal/bench"
 	"vrp/internal/corpus"
+	"vrp/internal/genprog"
 )
 
 func main() {
@@ -40,9 +42,12 @@ func main() {
 		benchIter   = flag.Int("benchiter", 5, "timing iterations per -bench point")
 		latticeRun  = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
 		latticeOut  = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
-		latticeGate = flag.Bool("gate", false, "with -lattice, exit nonzero if interning is slower than no-interning on any point")
+		latticeGate = flag.Bool("gate", false, "with -lattice, exit nonzero if interning is slower than no-interning on any point; with -scale, exit nonzero if the 100k tier's ns/instr exceeds 2x the 10k tier's")
 		accuracy    = flag.Bool("accuracy", false, "score every predictor's miss rate and mean error, emit JSON")
 		accOut      = flag.String("accuracyout", "BENCH_accuracy.json", "output path for -accuracy")
+		scaleRun    = flag.Bool("scale", false, "run the mega-scale pipeline benchmark over the generated 10k/100k/1M tiers, emit JSON")
+		scaleOut    = flag.String("scaleout", "BENCH_scale.json", "output path for -scale")
+		scaleMax    = flag.String("scalemax", "", "with -scale, largest tier to run (e.g. 100k for CI smoke; empty = all)")
 		quick       = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
@@ -67,6 +72,8 @@ func main() {
 			iters = 3
 		}
 		err = runLatticeBench(w, *latticeOut, sizes, iters, *latticeGate)
+	case *scaleRun:
+		err = runScaleBench(w, *scaleOut, *scaleMax, *latticeGate)
 	case *accuracy:
 		err = runAccuracy(w, *accOut)
 	case *summary:
@@ -181,9 +188,9 @@ func runLatticeBench(w *os.File, outPath string, sizes []int, iters int, gate bo
 		return err
 	}
 	fmt.Fprintf(w, "lattice interning benchmark (sequential), best of %d:\n", iters)
-	fmt.Fprintf(w, "  %-10s %7s %12s %12s %11s %11s %10s %11s %10s %10s %11s %9s %10s\n",
+	fmt.Fprintf(w, "  %-10s %7s %12s %12s %11s %11s %10s %11s %10s %10s %11s %9s %8s %10s\n",
 		"program", "instrs", "on ns/op", "off ns/op", "on allocs", "off allocs", "alloc-red",
-		"arena", "skip-rate", "merge-hit", "intern-hit", "memo-hit", "verdict")
+		"arena", "skip-rate", "merge-hit", "intern-hit", "memo-hit", "peakMB", "verdict")
 	var slower []string
 	for _, p := range pts {
 		verdict := "ok"
@@ -191,15 +198,76 @@ func runLatticeBench(w *os.File, outPath string, sizes []int, iters int, gate bo
 			verdict = "SLOWER"
 			slower = append(slower, p.Name)
 		}
-		fmt.Fprintf(w, "  %-10s %7d %12d %12d %11d %11d %9.1f%% %11d %9.1f%% %10d %11d %9d %10s\n",
+		fmt.Fprintf(w, "  %-10s %7d %12d %12d %11d %11d %9.1f%% %11d %9.1f%% %10d %11d %9d %8.1f %10s\n",
 			p.Name, p.Instrs, p.OnNsOp, p.OffNsOp, p.OnAllocsOp, p.OffAllocsOp,
 			100*p.AllocReduction, p.ArenaBytes, 100*p.ConfirmSkipRate,
-			p.MergeMemoHits, p.InternHits, p.MemoHits, verdict)
+			p.MergeMemoHits, p.InternHits, p.MemoHits, float64(p.PeakHeapBytes)/(1<<20), verdict)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
 	if gate && len(slower) > 0 {
 		return fmt.Errorf("interning gate failed: interning slower than no-interning on %d of %d points: %s",
 			len(slower), len(pts), strings.Join(slower, ", "))
+	}
+	return nil
+}
+
+// scaleBenchReport is the machine-readable result of -scale: one full
+// single-shot pipeline run (lex→parse→sem→ssaform→VRP, sequential
+// schedule) per generated mega-scale tier (BENCH_scale.json; schema
+// vrp-scale/v1 in EXPERIMENTS.md).
+type scaleBenchReport struct {
+	Schema     string             `json:"schema"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Points     []bench.ScalePoint `json:"points"`
+}
+
+func runScaleBench(w *os.File, outPath, maxTier string, gate bool) error {
+	tiers := genprog.ScaleTiers()
+	if maxTier != "" {
+		cut := -1
+		for i, t := range tiers {
+			if t.Name == "gen-"+maxTier || t.Name == maxTier {
+				cut = i
+			}
+		}
+		if cut < 0 {
+			return fmt.Errorf("-scalemax %q matches no scale tier", maxTier)
+		}
+		tiers = tiers[:cut+1]
+	}
+	pts, err := bench.MegaScale(tiers)
+	if err != nil {
+		return err
+	}
+	rep := scaleBenchReport{Schema: "vrp-scale/v1", GOMAXPROCS: runtime.GOMAXPROCS(0), Points: pts}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mega-scale pipeline benchmark (sequential, single shot):\n")
+	fmt.Fprintf(w, "  %-9s %8s %6s %8s %9s %9s %9s %9s %10s %10s %10s %7s %5s\n",
+		"tier", "instrs", "funcs", "total", "parse", "ssa", "vrp", "ns/instr", "allocs", "allocMB", "peakMB", "passes", "conv")
+	for _, p := range pts {
+		conv := "yes"
+		if !p.Converged {
+			conv = "NO"
+		}
+		fmt.Fprintf(w, "  %-9s %8d %6d %7.2fs %8.3fs %8.3fs %8.2fs %9.1f %10d %10.1f %10.1f %7d %5s\n",
+			p.Name, p.Instrs, p.Funcs,
+			float64(p.TotalNs)/1e9, float64(p.PhaseNs["parse"])/1e9,
+			float64(p.PhaseNs["ssa"])/1e9, float64(p.PhaseNs["vrp"])/1e9,
+			p.NsPerInstr, p.Allocs, float64(p.AllocBytes)/(1<<20),
+			float64(p.PeakHeapBytes)/(1<<20), p.Passes, conv)
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	if gate {
+		if err := bench.ScaleGate(pts, 2.0); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "scale gate: ok (gen-100k ns/instr within 2x gen-10k)")
 	}
 	return nil
 }

@@ -29,7 +29,8 @@
 //
 //	-addr URL              vrpd base URL (default http://127.0.0.1:8344)
 //	-seed N                generator seed (default 0x5eed)
-//	-gen-funcs N           kernels per program (0 = benchmark default)
+//	-shape NAME            genprog shape preset (default, 10k, wide-scc, deep-loop, recursive, ...)
+//	-gen-funcs N           kernels per program (0 = preset default)
 //	-cold N                cold-phase requests (default 6)
 //	-warm N                warm-phase requests (default 24)
 //	-batch N               programs per batch request (0 skips the phase)
@@ -110,7 +111,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", "http://127.0.0.1:8344", "vrpd base URL")
 		seed    = flag.Uint64("seed", 0x5eed, "generator seed; traffic is a pure function of it")
-		funcs   = flag.Int("gen-funcs", 0, "kernels per generated program (0 = benchmark default)")
+		funcs   = flag.Int("gen-funcs", 0, "kernels per generated program (0 = preset default)")
+		shape   = flag.String("shape", "default", "genprog shape preset: "+strings.Join(genprog.PresetNames(), ", "))
 		cold    = flag.Int("cold", 6, "cold-phase requests (distinct programs)")
 		warm    = flag.Int("warm", 24, "warm-phase requests (single-function edits of the seeded base)")
 		batch   = flag.Int("batch", 8, "programs per /v1/analyze-batch request (0 skips the batch phase)")
@@ -122,7 +124,10 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := genprog.Default()
+	cfg, ok := genprog.Preset(*shape)
+	if !ok {
+		fatal("unknown -shape %q (presets: %s)", *shape, strings.Join(genprog.PresetNames(), ", "))
+	}
 	cfg.Seed = *seed
 	if *funcs > 0 {
 		cfg.Funcs = *funcs

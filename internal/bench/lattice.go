@@ -52,6 +52,12 @@ type LatticePoint struct {
 	ConfirmSkipRate float64 `json:"confirm_skip_rate"`
 	MergeMemoHits   int64   `json:"merge_memo_hits"`
 	MergeMemoMisses int64   `json:"merge_memo_misses"`
+
+	// PeakHeapBytes is the HeapAlloc high-water mark observed across the
+	// instrumented run (polled, plus one post-run sample), after a GC
+	// fence — the live-set footprint of analyzing this program once, not
+	// the allocation volume the bytes-per-op columns already report.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // LatticeComparison measures merged corpus programs of growing size —
@@ -119,21 +125,30 @@ func latticePoint(name string, mp *ir.Program, iters int) (LatticePoint, error) 
 	corevrp.ResetInternPools()
 	telCfg := onCfg
 	telCfg.Telemetry = telemetry.New()
+	runtime.GC()
+	var mPost runtime.MemStats
+	hw := watchHeap(25 * time.Millisecond)
 	res, err := corevrp.Analyze(mp, telCfg)
+	peak := hw.close()
+	runtime.ReadMemStats(&mPost)
+	if mPost.HeapAlloc > peak {
+		peak = mPost.HeapAlloc
+	}
 	if err != nil {
 		return LatticePoint{}, err
 	}
 
 	pt := LatticePoint{
-		Name:        name,
-		Instrs:      mp.NumInstrs(),
-		Funcs:       len(mp.Funcs),
-		OnNsOp:      on.ns,
-		OffNsOp:     off.ns,
-		OnAllocsOp:  on.allocs,
-		OffAllocsOp: off.allocs,
-		OnBytesOp:   on.bytes,
-		OffBytesOp:  off.bytes,
+		Name:          name,
+		Instrs:        mp.NumInstrs(),
+		Funcs:         len(mp.Funcs),
+		PeakHeapBytes: peak,
+		OnNsOp:        on.ns,
+		OffNsOp:       off.ns,
+		OnAllocsOp:    on.allocs,
+		OffAllocsOp:   off.allocs,
+		OnBytesOp:     on.bytes,
+		OffBytesOp:    off.bytes,
 	}
 	if off.allocs > 0 {
 		pt.AllocReduction = 1 - float64(on.allocs)/float64(off.allocs)

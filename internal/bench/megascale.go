@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"vrp"
+	"vrp/internal/genprog"
+	"vrp/internal/telemetry"
+)
+
+// ScalePoint is one tier of the mega-scale pipeline benchmark
+// (vrpbench -scale, BENCH_scale.json; schema vrp-scale/v1 in
+// EXPERIMENTS.md): the full lex→parse→sem→ssaform→VRP pipeline run once
+// over a generated program, with per-phase wall time pulled from the
+// request-scoped span tree, allocation deltas from MemStats, and the
+// HeapAlloc high-water mark sampled by a background poller.
+type ScalePoint struct {
+	Name        string `json:"name"`
+	SourceBytes int    `json:"source_bytes"`
+	Instrs      int    `json:"instrs"`
+	Funcs       int    `json:"funcs"`
+	Blocks      int    `json:"blocks"`
+	Edges       int    `json:"edges"`
+
+	TotalNs    int64   `json:"total_ns"`
+	NsPerInstr float64 `json:"ns_per_instr"`
+	// PhaseNs splits TotalNs by pipeline phase: "parse" (lexing, parsing,
+	// semantic checks), "ssa" (IR lowering + SSA conversion), "vrp" (the
+	// whole interprocedural analysis).
+	PhaseNs map[string]int64 `json:"phase_ns"`
+
+	Allocs        int64  `json:"allocs"`
+	AllocBytes    int64  `json:"alloc_bytes"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+
+	Passes    int  `json:"passes"`
+	Converged bool `json:"converged"`
+}
+
+// heapWatcher samples runtime.MemStats.HeapAlloc on a fixed cadence and
+// keeps the high-water mark. Polling is coarse on purpose: ReadMemStats
+// stops the world, so a tight loop would perturb the very run it
+// measures. The caller folds in its own post-run sample, which catches a
+// peak the poller slept through at the end.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchHeap(every time.Duration) *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > w.peak {
+					w.peak = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// close stops the poller and returns the high-water mark it saw.
+func (w *heapWatcher) close() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak
+}
+
+// MegaScale runs the full pipeline once per tier under the sequential
+// schedule (Workers: 1, so the tiers measure the analysis itself, not
+// the scheduling luck of a shared CI box) and returns one ScalePoint
+// per tier. Single-shot timing is deliberate: the 1M tier runs tens of
+// seconds, and the scaling verdict divides by instruction count, which
+// swamps per-run jitter at these sizes.
+func MegaScale(tiers []genprog.Tier) ([]ScalePoint, error) {
+	pts := make([]ScalePoint, 0, len(tiers))
+	for _, t := range tiers {
+		pt, err := megaScalePoint(t)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.Name, err)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+func megaScalePoint(t genprog.Tier) (ScalePoint, error) {
+	src := genprog.Source(t.Cfg)
+
+	// A full GC fences the previous tier's garbage out of this tier's
+	// peak-heap and allocation columns.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	tr := telemetry.NewTrace()
+	hw := watchHeap(25 * time.Millisecond)
+	start := time.Now()
+
+	p, err := vrp.CompileWith(t.Name+".mini", src,
+		vrp.CompileOptions{Trace: tr, TraceParent: telemetry.NoSpan})
+	if err != nil {
+		hw.close()
+		return ScalePoint{}, err
+	}
+	vrpSpan := tr.Start(telemetry.NoSpan, "phase", "vrp")
+	a, err := p.Analyze(vrp.WithWorkers(1), vrp.WithTrace(tr, vrpSpan))
+	tr.End(vrpSpan)
+	total := time.Since(start)
+
+	peak := hw.close()
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > peak {
+		peak = m1.HeapAlloc
+	}
+	if err != nil {
+		return ScalePoint{}, err
+	}
+
+	pt := ScalePoint{
+		Name:          t.Name,
+		SourceBytes:   len(src),
+		Instrs:        p.IR.NumInstrs(),
+		Funcs:         len(p.IR.Funcs),
+		TotalNs:       total.Nanoseconds(),
+		PhaseNs:       make(map[string]int64, 3),
+		Allocs:        int64(m1.Mallocs - m0.Mallocs),
+		AllocBytes:    int64(m1.TotalAlloc - m0.TotalAlloc),
+		PeakHeapBytes: peak,
+		Passes:        a.Result.Stats.Passes,
+		Converged:     a.Converged(),
+	}
+	for _, f := range p.IR.Funcs {
+		pt.Blocks += len(f.Blocks)
+		for _, b := range f.Blocks {
+			pt.Edges += len(b.Succs)
+		}
+	}
+	if pt.Instrs > 0 {
+		pt.NsPerInstr = float64(pt.TotalNs) / float64(pt.Instrs)
+	}
+	// The pipeline phases are the root-level "phase" spans: "parse" and
+	// "ssa" from CompileWith, "vrp" wrapped around Analyze above. Driver
+	// sub-spans (passes, waves, engines) hang below "vrp" and are not
+	// summed here.
+	for _, sp := range tr.Spans() {
+		if sp.Cat == "phase" && sp.Parent == telemetry.NoSpan {
+			pt.PhaseNs[sp.Name] += sp.Dur
+		}
+	}
+	return pt, nil
+}
+
+// ScaleGate enforces the near-linear scaling contract on a MegaScale
+// series: the 100k tier's ns/instr must stay within factor× the 10k
+// tier's. Super-linear blowup between those two decades is the signature
+// of an accidentally quadratic hot path (the 1M tier is excluded — at
+// that size GC pacing against the container's memory ceiling dominates,
+// which is a capacity question, not an asymptotic one).
+func ScaleGate(pts []ScalePoint, factor float64) error {
+	var base, big *ScalePoint
+	for i := range pts {
+		switch pts[i].Name {
+		case "gen-10k":
+			base = &pts[i]
+		case "gen-100k":
+			big = &pts[i]
+		}
+	}
+	if base == nil || big == nil {
+		return fmt.Errorf("scale gate needs both gen-10k and gen-100k tiers")
+	}
+	if limit := factor * base.NsPerInstr; big.NsPerInstr > limit {
+		return fmt.Errorf("scale gate failed: gen-100k %.1f ns/instr exceeds %.2f× gen-10k (%.1f ns/instr, limit %.1f)",
+			big.NsPerInstr, factor, base.NsPerInstr, limit)
+	}
+	return nil
+}

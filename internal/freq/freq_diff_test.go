@@ -92,3 +92,23 @@ func TestComputeMatchesReferenceGenerated(t *testing.T) {
 	}
 	diffOne(t, "gen", p.IR)
 }
+
+// TestComputeMatchesReferencePresets runs the differential check over
+// every genprog shape preset, covering the mega-scale CFG/call-graph
+// structures (recursion rings, wide SCCs, deep loop nests, padded
+// bodies) the default tier does not reach. The 100k/1M tiers reuse the
+// 10k shape at larger sizes, so the factored solver sees every distinct
+// structure without mega-program test runtimes.
+func TestComputeMatchesReferencePresets(t *testing.T) {
+	for _, name := range []string{"10k", "wide-scc", "deep-loop", "recursive"} {
+		cfg, ok := genprog.Preset(name)
+		if !ok {
+			t.Fatalf("unknown preset %q", name)
+		}
+		p, err := vrp.Compile(name+".mini", genprog.Source(cfg))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		diffOne(t, name, p.IR)
+	}
+}

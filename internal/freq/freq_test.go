@@ -187,3 +187,82 @@ func main() {
 		}
 	}
 }
+
+// TestFactorOnceSolveMany pins the factor-once, solve-many contract: one
+// NewSolver performs exactly one CSR factorization, and any number of
+// Compute calls on it re-solve against the factored structure without
+// re-eliminating loops.
+func TestFactorOnceSolveMany(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i += 1) {
+		for (var j = 0; j < 5; j += 1) {
+			if (s < 100) { s += j; } else { s -= 1; }
+		}
+	}
+	print(s);
+}`)
+	tr := dom.New(f)
+	loops := dom.FindLoops(f, tr)
+
+	f0, s0 := Stats()
+	s := NewSolver(f, tr, loops, dom.BackEdges(f, tr))
+	const solves = 25
+	for i := 0; i < solves; i++ {
+		// Vary the RHS (branch probabilities) between solves, as the vrp
+		// engine does between passes: the factorization must survive.
+		p := float64(i+1) / float64(solves+2)
+		s.Compute(func(*ir.Instr) (float64, bool) { return p, true })
+	}
+	f1, s1 := Stats()
+	if got := f1 - f0; got != 1 {
+		t.Fatalf("NewSolver + %d Compute calls performed %d factorizations, want exactly 1", solves, got)
+	}
+	if got := s1 - s0; got != solves {
+		t.Fatalf("recorded %d solves, want %d", got, solves)
+	}
+}
+
+// TestFactoredMatchesReferenceAcrossRHS re-solves one factorization under
+// many different probability assignments and demands bit-identity with
+// the reference scan each time: the factored structure must be a pure
+// function of the CFG, never of any particular solve's probabilities.
+func TestFactoredMatchesReferenceAcrossRHS(t *testing.T) {
+	f := buildMain(t, `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 9; i += 1) {
+		if (s % 3 == 0) {
+			for (var j = 0; j < 4; j += 1) { s += j; }
+		} else {
+			s -= 2;
+		}
+	}
+	print(s);
+}`)
+	tr := dom.New(f)
+	loops := dom.FindLoops(f, tr)
+	s := NewSolver(f, tr, loops, dom.BackEdges(f, tr))
+	for i := 0; i < 20; i++ {
+		p := float64(i) / 19.0
+		prob := func(br *ir.Instr) (float64, bool) {
+			if i%5 == 4 {
+				return 0, false // unknown-branch path too
+			}
+			return p, true
+		}
+		got := s.Compute(prob)
+		want := s.ReferenceCompute(prob)
+		for b := range want.Block {
+			if math.Float64bits(got.Block[b]) != math.Float64bits(want.Block[b]) {
+				t.Fatalf("solve %d: block %d: got %v want %v", i, b, got.Block[b], want.Block[b])
+			}
+		}
+		for e := range want.Edge {
+			if math.Float64bits(got.Edge[e]) != math.Float64bits(want.Edge[e]) {
+				t.Fatalf("solve %d: edge %d: got %v want %v", i, e, got.Edge[e], want.Edge[e])
+			}
+		}
+	}
+}

@@ -123,3 +123,97 @@ func TestEditFunc(t *testing.T) {
 		t.Error("EditFunc on kernel-free source reported success")
 	}
 }
+
+// TestPresetDeterminism extends the absolute-determinism contract to
+// every shape preset and every new shape knob: same config ⇒
+// byte-identical source, different seed ⇒ different source, and each
+// preset must survive the full compile pipeline.
+func TestPresetDeterminism(t *testing.T) {
+	for _, name := range genprog.PresetNames() {
+		if name == "100k" || name == "1m" {
+			continue // mega tiers are exercised by vrpbench -scale, not unit tests
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, ok := genprog.Preset(name)
+			if !ok {
+				t.Fatalf("Preset(%q) unknown", name)
+			}
+			a := genprog.Source(cfg)
+			if b := genprog.Source(cfg); b != a {
+				t.Fatal("same preset config produced different source")
+			}
+			reseeded := cfg
+			reseeded.Seed++
+			if genprog.Source(reseeded) == a {
+				t.Fatal("different seeds produced identical source")
+			}
+			if _, err := vrp.Compile(name+".mini", a); err != nil {
+				t.Fatalf("preset does not compile: %v", err)
+			}
+		})
+	}
+}
+
+// TestShapeKnobsIndependent pins each new shape knob individually:
+// enabling exactly one of BodyStmts/SCCWidth/RecDepth must change the
+// generated source (the knob is live) while leaving the zero-valued
+// configuration byte-identical to the pre-knob generator output
+// (TestDeterministic covers that via Default()).
+func TestShapeKnobsIndependent(t *testing.T) {
+	base := genprog.Config{Seed: 77, Funcs: 10, Diamonds: 2, LoopDepth: 2}
+	baseSrc := genprog.Source(base)
+	knobs := []struct {
+		name string
+		mut  func(*genprog.Config)
+	}{
+		{"BodyStmts", func(c *genprog.Config) { c.BodyStmts = 3 }},
+		{"SCCWidth", func(c *genprog.Config) { c.SCCWidth = 3 }},
+		{"RecDepth", func(c *genprog.Config) { c.RecDepth = 2 }},
+	}
+	for _, k := range knobs {
+		t.Run(k.name, func(t *testing.T) {
+			cfg := base
+			k.mut(&cfg)
+			src := genprog.Source(cfg)
+			if src == baseSrc {
+				t.Fatalf("%s had no effect on the generated source", k.name)
+			}
+			if again := genprog.Source(cfg); again != src {
+				t.Fatalf("%s generation is not deterministic", k.name)
+			}
+			if _, err := vrp.Compile("knob.mini", src); err != nil {
+				t.Fatalf("%s shape does not compile: %v", k.name, err)
+			}
+		})
+	}
+}
+
+// TestEditFuncOnMegaShape pins single-function edits on a generated
+// mega-program: the 10k scale preset (recursion rings, SCC links and
+// body padding all enabled) must stay editable and recompilable, kernel
+// by kernel, exactly like the plain benchmark shape.
+func TestEditFuncOnMegaShape(t *testing.T) {
+	cfg, ok := genprog.Preset("10k")
+	if !ok {
+		t.Fatal("no 10k preset")
+	}
+	base := genprog.Source(cfg)
+	for _, k := range []int{0, 7, cfg.Funcs - 1} {
+		edited, ok := genprog.EditFunc(base, k, int64(100+k))
+		if !ok {
+			t.Fatalf("EditFunc(%d) failed on the 10k preset", k)
+		}
+		if edited == base {
+			t.Fatalf("EditFunc(%d) changed nothing", k)
+		}
+		if again, _ := genprog.EditFunc(base, k, int64(100+k)); again != edited {
+			t.Fatalf("EditFunc(%d) is not deterministic", k)
+		}
+		if _, err := vrp.Compile("mega-edit.mini", edited); err != nil {
+			t.Fatalf("edited 10k program does not compile: %v", err)
+		}
+	}
+	if _, ok := genprog.EditFunc(base, cfg.Funcs, 1); ok {
+		t.Error("EditFunc on a missing kernel reported success")
+	}
+}

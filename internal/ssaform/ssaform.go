@@ -19,6 +19,7 @@ package ssaform
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"vrp/internal/dom"
 	"vrp/internal/ir"
@@ -71,12 +72,36 @@ type builder struct {
 	defCount  []int       // defs per register (pre-SSA)
 	singleDef []*ir.Instr // unique defining instruction, nil if 0 or >1 defs
 
-	liveIn []map[ir.Reg]bool // per block ID
+	liveIn bitmat // block ID × register: live-in bits
 
-	// Renaming state.
-	stacks  map[ir.Reg][]ir.Reg // original register → stack of SSA names
-	origOf  map[ir.Reg]ir.Reg   // SSA register → original register
-	version map[ir.Reg]int      // original register → next version number
+	// Renaming state. Registers are small dense integers, so all of it
+	// is slice-indexed: maps here cost a hash per instruction operand on
+	// a path that runs once per instruction of every function.
+	stacks   [][]ir.Reg // original register → stack of SSA names
+	origOf   []ir.Reg   // SSA register → original register (0 = none)
+	version  []int32    // original register → next version number
+	undefReg ir.Reg     // lazily created zero-constant, 0 until first use
+}
+
+// bitmat is a dense rows × NumRegs bit matrix (one row per block).
+type bitmat struct {
+	words int
+	bits  []uint64
+}
+
+func newBitmat(rows, regs int) bitmat {
+	w := (regs + 63) / 64
+	return bitmat{words: w, bits: make([]uint64, rows*w)}
+}
+
+func (m bitmat) row(i int) []uint64 { return m.bits[i*m.words : (i+1)*m.words] }
+
+func (m bitmat) get(i int, r ir.Reg) bool {
+	return m.bits[i*m.words+int(r)>>6]&(1<<(uint(r)&63)) != 0
+}
+
+func (m bitmat) set(i int, r ir.Reg) {
+	m.bits[i*m.words+int(r)>>6] |= 1 << (uint(r) & 63)
 }
 
 func (b *builder) countDefs() {
@@ -222,49 +247,43 @@ func (b *builder) prependAssert(blk *ir.Block, x ir.Reg, rel ir.BinOp, other ir.
 // iteration; used to prune dead φs.
 func (b *builder) liveness() {
 	n := len(b.f.Blocks)
-	use := make([]map[ir.Reg]bool, n)  // upward-exposed uses
-	defs := make([]map[ir.Reg]bool, n) // defined before any later use
-	b.liveIn = make([]map[ir.Reg]bool, n)
-	liveOut := make([]map[ir.Reg]bool, n)
+	regs := b.f.NumRegs
+	use := newBitmat(n, regs)  // upward-exposed uses
+	defs := newBitmat(n, regs) // defined before any later use
+	b.liveIn = newBitmat(n, regs)
+	liveOut := newBitmat(n, regs)
 	var buf []ir.Reg
 	for i, blk := range b.f.Blocks {
-		use[i] = map[ir.Reg]bool{}
-		defs[i] = map[ir.Reg]bool{}
-		b.liveIn[i] = map[ir.Reg]bool{}
-		liveOut[i] = map[ir.Reg]bool{}
 		for _, in := range blk.Instrs {
 			buf = in.UseRegs(buf[:0])
 			for _, r := range buf {
-				if !defs[i][r] {
-					use[i][r] = true
+				if !defs.get(i, r) {
+					use.set(i, r)
 				}
 			}
 			if in.Defines() {
-				defs[i][in.Dst] = true
+				defs.set(i, in.Dst)
 			}
 		}
 	}
+	// liveIn = use ∪ (liveOut − defs), liveOut = ∪ succ liveIn: the
+	// classic backward iteration, 64 registers per word.
 	for changed := true; changed; {
 		changed = false
 		for i := n - 1; i >= 0; i-- {
 			blk := b.f.Blocks[i]
+			out := liveOut.row(i)
 			for _, e := range blk.Succs {
-				for r := range b.liveIn[e.To.ID] {
-					if !liveOut[i][r] {
-						liveOut[i][r] = true
-						changed = true
-					}
+				succ := b.liveIn.row(e.To.ID)
+				for w := range out {
+					out[w] |= succ[w]
 				}
 			}
-			for r := range liveOut[i] {
-				if !defs[i][r] && !b.liveIn[i][r] {
-					b.liveIn[i][r] = true
-					changed = true
-				}
-			}
-			for r := range use[i] {
-				if !b.liveIn[i][r] {
-					b.liveIn[i][r] = true
+			in, u, d := b.liveIn.row(i), use.row(i), defs.row(i)
+			for w := range in {
+				nv := in[w] | u[w] | (out[w] &^ d[w])
+				if nv != in[w] {
+					in[w] = nv
 					changed = true
 				}
 			}
@@ -294,18 +313,25 @@ func (b *builder) insertPhis() {
 		regs = append(regs, r)
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	// φs are collected per block and spliced in one rebuild below: the
+	// one-at-a-time prepend was quadratic in φs-per-block. Sequential
+	// prepending leaves the *last*-created φ first, so the pending list
+	// is reversed at splice time to keep instruction order — and with it
+	// the engine's evaluation order — exactly as before.
+	pend := make([][]*ir.Instr, len(b.f.Blocks))
+	var work []int
 	for _, r := range regs {
 		sites := defSites[r]
 		if b.defCount[r] < 2 {
 			continue
 		}
 		hasPhi := map[int]bool{}
-		work := append([]int(nil), sites...)
+		work = append(work[:0], sites...)
 		for len(work) > 0 {
 			x := work[len(work)-1]
 			work = work[:len(work)-1]
 			for _, y := range b.tree.Frontier(x) {
-				if hasPhi[y] || !b.liveIn[y][r] {
+				if hasPhi[y] || !b.liveIn.get(y, r) {
 					continue
 				}
 				hasPhi[y] = true
@@ -314,19 +340,31 @@ func (b *builder) insertPhis() {
 				for i := range phi.Args {
 					phi.Args[i] = r
 				}
-				blk.Instrs = append([]*ir.Instr{phi}, blk.Instrs...)
+				pend[y] = append(pend[y], phi)
 				work = append(work, y)
 			}
 		}
+	}
+	for y, phis := range pend {
+		if len(phis) == 0 {
+			continue
+		}
+		blk := b.f.Blocks[y]
+		merged := make([]*ir.Instr, 0, len(phis)+len(blk.Instrs))
+		for i := len(phis) - 1; i >= 0; i-- {
+			merged = append(merged, phis[i])
+		}
+		blk.Instrs = append(merged, blk.Instrs...)
 	}
 }
 
 // ----------------------------------------------------------------- rename
 
 func (b *builder) rename() {
-	b.stacks = map[ir.Reg][]ir.Reg{}
-	b.origOf = map[ir.Reg]ir.Reg{}
-	b.version = map[ir.Reg]int{}
+	pre := b.f.NumRegs // every original register is below this
+	b.stacks = make([][]ir.Reg, pre)
+	b.origOf = make([]ir.Reg, pre) // extended in step with NewReg
+	b.version = make([]int32, pre)
 	if b.f.Names == nil {
 		b.f.Names = map[ir.Reg]string{}
 	}
@@ -336,11 +374,11 @@ func (b *builder) rename() {
 // fresh creates a new SSA name for original register r.
 func (b *builder) fresh(r ir.Reg) ir.Reg {
 	nr := b.f.NewReg()
-	b.origOf[nr] = r
+	b.origOf = append(b.origOf, r) // NewReg is sequential: index == nr
 	v := b.version[r]
 	b.version[r] = v + 1
 	if name, ok := b.f.Names[r]; ok {
-		b.f.Names[nr] = fmt.Sprintf("%s.%d", name, v)
+		b.f.Names[nr] = name + "." + strconv.Itoa(int(v))
 	}
 	b.stacks[r] = append(b.stacks[r], nr)
 	return nr
@@ -358,18 +396,16 @@ func (b *builder) top(r ir.Reg) ir.Reg {
 	return s[len(s)-1]
 }
 
-var undefKey = ir.Reg(-1)
-
 func (b *builder) undef() ir.Reg {
-	s := b.stacks[undefKey]
-	if len(s) > 0 {
-		return s[0]
+	if b.undefReg != 0 {
+		return b.undefReg
 	}
 	r := b.f.NewReg()
+	b.origOf = append(b.origOf, 0) // no original register
 	in := &ir.Instr{Op: ir.OpConst, Dst: r, Const: 0, Block: b.f.Entry}
 	// Insert at the very beginning of entry so it dominates everything.
 	b.f.Entry.Instrs = append([]*ir.Instr{in}, b.f.Entry.Instrs...)
-	b.stacks[undefKey] = []ir.Reg{r}
+	b.undefReg = r
 	return r
 }
 
@@ -427,7 +463,7 @@ func (b *builder) renameBlock(blk *ir.Block) {
 			// block is renamed; the arg slot for this edge gets our
 			// current name of the φ's original register.
 			orig := phi.Args[idx]
-			if o, ok := b.origOf[phi.Dst]; ok {
+			if o := b.origOf[phi.Dst]; o != 0 {
 				orig = o
 			}
 			phi.Args[idx] = b.top(orig)

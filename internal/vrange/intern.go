@@ -179,11 +179,15 @@ type memoEntry struct {
 // memoCap bounds the live entries of the transfer-function memo. When the
 // table fills up it is cleared (epoch eviction): O(1) bookkeeping, no
 // recency tracking on the hot path, and the steady-state working set of a
-// function's fixpoint easily fits. Eviction only ever costs recomputation.
+// function's fixpoint easily fits. Eviction only ever costs recomputation,
+// never correctness: entries replay exact result/counter deltas, so hit
+// rates change wall-clock only. memoCap is therefore scaled with the
+// size hint (memoCapMin for unhinted tables, up to memoCapMax for
+// million-instruction programs, where a fixed 16k cap thrashes).
 const (
-	memoCap       = 1 << 14
+	memoCapMin    = 1 << 14
+	memoCapMax    = 1 << 20
 	memoInitSlots = 256
-	memoMaxSlots  = 1 << 15 // ≤50% load at memoCap
 )
 
 type memoSlot struct {
@@ -258,6 +262,7 @@ type Interner struct {
 	memoMask  uint64
 	memoLive  int
 	memoGrow  int
+	memoCap   int // live-entry bound (hint-scaled at construction)
 
 	merge map[mergeKey]memoEntry // loop-header φ merge memo
 
@@ -281,12 +286,13 @@ func NewInterner() *Interner {
 // undersized table still grows normally.
 func NewInternerSized(hint int) *Interner {
 	it := &Interner{
-		points: make(map[Bound]Value, 64),
-		bools:  make(map[boolKey]Value, 16),
-		merge:  make(map[mergeKey]memoEntry, 16),
+		points:  make(map[Bound]Value, 64),
+		bools:   make(map[boolKey]Value, 16),
+		merge:   make(map[mergeKey]memoEntry, 16),
+		memoCap: sizeFor(hint, memoCapMin, memoCapMax),
 	}
-	it.initTable(sizeFor(hint+hint/3, internInitSlots, 1<<17))
-	it.initMemo(sizeFor(hint, memoInitSlots, memoMaxSlots))
+	it.initTable(sizeFor(hint+hint/3, internInitSlots, 1<<22))
+	it.initMemo(sizeFor(hint, memoInitSlots, 2*it.memoCap))
 	return it
 }
 
@@ -312,8 +318,8 @@ func (it *Interner) initMemo(n int) {
 	it.memoSlots = make([]memoSlot, n)
 	it.memoMask = uint64(n - 1)
 	it.memoGrow = n - n/4
-	if it.memoGrow > memoCap {
-		it.memoGrow = memoCap
+	if it.memoGrow > it.memoCap {
+		it.memoGrow = it.memoCap
 	}
 }
 
@@ -544,7 +550,7 @@ func (it *Interner) memoGet(k memoKey) (memoEntry, bool) {
 // as the table refills.
 func (it *Interner) memoPut(k memoKey, e memoEntry) {
 	if it.memoLive >= it.memoGrow {
-		if len(it.memoSlots) < memoMaxSlots {
+		if len(it.memoSlots) < 2*it.memoCap {
 			it.growMemo()
 		} else {
 			it.evictions += int64(it.memoLive)
