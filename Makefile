@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet race fmt check bench bench-gate bench-scale accuracy serve loadtest
+.PHONY: build test vet race fmt check bench bench-gate bench-scale accuracy quality-gate serve loadtest
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ bench-scale:
 # Per-predictor miss rates and errors: writes BENCH_accuracy.json.
 accuracy:
 	$(GO) run ./cmd/vrpbench -accuracy
+
+# Prediction-quality gate: rewrite BENCH_quality.json and fail if
+# interpreter direction agreement or the range-certain fraction regresses
+# below the committed baseline on any suite (DESIGN.md §3.12).
+quality-gate:
+	$(GO) run ./cmd/vrpbench -quality -gate
 
 # Run the analysis server (README "Running the server").
 serve:

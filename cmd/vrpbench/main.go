@@ -15,6 +15,7 @@
 //	vrpbench -bench     machine-readable driver benchmark (BENCH_driver.json)
 //	vrpbench -accuracy  per-predictor miss rates and errors (BENCH_accuracy.json)
 //	vrpbench -scale     mega-scale pipeline benchmark over generated 10k/100k/1M-instruction tiers (BENCH_scale.json)
+//	vrpbench -quality   prediction-quality evaluation vs the interpreter (BENCH_quality.json)
 package main
 
 import (
@@ -42,12 +43,16 @@ func main() {
 		benchIter   = flag.Int("benchiter", 5, "timing iterations per -bench point")
 		latticeRun  = flag.Bool("lattice", false, "benchmark interning on vs off, emit JSON")
 		latticeOut  = flag.String("latticeout", "BENCH_lattice.json", "output path for -lattice")
-		latticeGate = flag.Bool("gate", false, "with -lattice, exit nonzero if interning is slower than no-interning on any point; with -scale, exit nonzero if the 100k tier's ns/instr exceeds 2x the 10k tier's")
+		latticeGate = flag.Bool("gate", false, "with -lattice, exit nonzero if interning is slower than no-interning on any point; with -scale, exit nonzero if the 100k tier's ns/instr exceeds 2x the 10k tier's; with -quality, exit nonzero if agreement or certain fraction regresses below the committed baseline")
 		accuracy    = flag.Bool("accuracy", false, "score every predictor's miss rate and mean error, emit JSON")
 		accOut      = flag.String("accuracyout", "BENCH_accuracy.json", "output path for -accuracy")
 		scaleRun    = flag.Bool("scale", false, "run the mega-scale pipeline benchmark over the generated 10k/100k/1M tiers, emit JSON")
 		scaleOut    = flag.String("scaleout", "BENCH_scale.json", "output path for -scale")
 		scaleMax    = flag.String("scalemax", "", "with -scale, largest tier to run (e.g. 100k for CI smoke; empty = all)")
+		qualityRun  = flag.Bool("quality", false, "evaluate prediction quality (corpus + genprog presets vs the interpreter), emit JSON")
+		qualityOut  = flag.String("qualityout", "BENCH_quality.json", "output path for -quality")
+		qualityBase = flag.String("qualitybase", "", "with -quality -gate, baseline report to gate against (default: the -qualityout path before it is overwritten)")
+		maxEvals    = flag.Int("maxevals", 0, "with -quality, override the engine's per-instruction evaluation budget (synthetic precision-regression knob for gate tests; 0 = default)")
 		quick       = flag.Bool("quick", false, "with -bench/-lattice, run the abbreviated CI series (fewer sizes, 1 iteration)")
 	)
 	flag.Parse()
@@ -74,6 +79,8 @@ func main() {
 		err = runLatticeBench(w, *latticeOut, sizes, iters, *latticeGate)
 	case *scaleRun:
 		err = runScaleBench(w, *scaleOut, *scaleMax, *latticeGate)
+	case *qualityRun:
+		err = runQuality(w, *qualityOut, *qualityBase, *latticeGate, *maxEvals)
 	case *accuracy:
 		err = runAccuracy(w, *accOut)
 	case *summary:
@@ -219,6 +226,48 @@ type scaleBenchReport struct {
 	Schema     string             `json:"schema"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Points     []bench.ScalePoint `json:"points"`
+}
+
+// runQuality evaluates prediction quality against the interpreter and
+// writes BENCH_quality.json. With gate set, the committed baseline is
+// read before the artifact is overwritten (from basePath if given,
+// otherwise outPath) and the fresh report must not regress against it.
+func runQuality(w *os.File, outPath, basePath string, gate bool, maxEvals int) error {
+	var base *bench.QualityReport
+	if gate {
+		p := basePath
+		if p == "" {
+			p = outPath
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("quality gate needs a committed baseline: %w", err)
+		}
+		base = new(bench.QualityReport)
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("baseline %s: %w", p, err)
+		}
+	}
+	rep, err := bench.Quality(maxEvals)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	bench.PrintQuality(w, rep)
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	if gate {
+		if err := bench.QualityGate(base, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "quality gate: ok")
+	}
+	return nil
 }
 
 func runScaleBench(w *os.File, outPath, maxTier string, gate bool) error {

@@ -96,6 +96,17 @@ type recorderReport struct {
 	TraceEvents int              `json:"trace_events"`
 }
 
+// qualityReport mirrors the server's cumulative vrpd_quality_* gauges
+// and counters after the run: the prediction-quality surface the load
+// actually exercised (vrpd-load/v2 addition).
+type qualityReport struct {
+	Branches      int64   `json:"branches"`
+	Certain       int64   `json:"certain"`
+	CertainRatio  float64 `json:"certain_ratio"`
+	MeanLog2Width float64 `json:"mean_log2_width"`
+	StaleCertain  int64   `json:"stale_certain"`
+}
+
 type report struct {
 	Schema      string          `json:"schema"`
 	Addr        string          `json:"addr"`
@@ -103,6 +114,7 @@ type report struct {
 	Concurrency int             `json:"concurrency"`
 	Phases      []phaseReport   `json:"phases"`
 	Recorder    *recorderReport `json:"recorder,omitempty"`
+	Quality     *qualityReport  `json:"quality,omitempty"`
 }
 
 var client = &http.Client{Timeout: 5 * time.Minute}
@@ -149,7 +161,7 @@ func main() {
 		warmBodies[i] = []byte(editVariant(base, cfg.Funcs, i, 0))
 	}
 
-	rep := &report{Schema: "vrpd-load/v1", Addr: *addr, Gen: cfg, Concurrency: *conc}
+	rep := &report{Schema: "vrpd-load/v2", Addr: *addr, Gen: cfg, Concurrency: *conc}
 
 	rep.Phases = append(rep.Phases, runPhase(*addr, "cold", "/v1/analyze", coldBodies, *conc))
 	// Seed the per-function store with the base program before the warm
@@ -181,6 +193,7 @@ func main() {
 	}
 
 	rep.Recorder = scrapeRecorder(*addr)
+	rep.Quality = scrapeQuality(*addr)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -199,6 +212,10 @@ func main() {
 	if rec := rep.Recorder; rec != nil {
 		fmt.Printf("  recorder: %d retained, slowest %s (%.1fms, keep=%s, %d trace events)\n",
 			rec.Count, rec.SlowestID, rec.SlowestMS, rec.SlowestKeep, rec.TraceEvents)
+	}
+	if q := rep.Quality; q != nil {
+		fmt.Printf("  quality: %d branches, %.3f certain, mean log2 width %.2f, %d stale-certain\n",
+			q.Branches, q.CertainRatio, q.MeanLog2Width, q.StaleCertain)
 	}
 
 	if *require {
@@ -381,6 +398,48 @@ func scrapeRecorder(addr string) *recorderReport {
 		rec.TraceEvents = len(trace.TraceEvents)
 	}
 	return rec
+}
+
+// scrapeQuality folds the server's cumulative vrpd_quality_* samples
+// into the report's quality section. Like the recorder scrape this is
+// advisory: a failed scrape or a server without quality telemetry just
+// omits the section. Unlike scrape, values stay floats — the certain
+// ratio and mean width are gauges, not counters.
+func scrapeQuality(addr string) *qualityReport {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if line == "" || line[0] == '#' || !strings.HasPrefix(line, "vrpd_quality_") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, "{") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		vals[name] = f
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	return &qualityReport{
+		Branches:      int64(vals["vrpd_quality_branches_total"]),
+		Certain:       int64(vals["vrpd_quality_certain_total"]),
+		CertainRatio:  vals["vrpd_quality_certain_ratio"],
+		MeanLog2Width: vals["vrpd_quality_mean_log2_width"],
+		StaleCertain:  int64(vals["vrpd_quality_stale_certain_total"]),
+	}
 }
 
 // scrape fetches /metrics and returns the plain counter samples. A

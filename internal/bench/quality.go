@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vrp"
+	"vrp/internal/corpus"
+	"vrp/internal/genprog"
+	"vrp/internal/heuristics"
+	"vrp/internal/interp"
+	"vrp/internal/ir"
+	"vrp/internal/telemetry"
+)
+
+// Prediction quality as a gated artifact (BENCH_quality.json): for every
+// suite, how much of the branch surface VRP predicts with certainty, how
+// wide the surviving ranges are, and — against the step-bounded
+// interpreter as ground truth — how often each predictor calls the
+// branch direction right. Unlike BENCH_accuracy.json (probability-error
+// curves on the paper corpus), this artifact is a regression *gate*:
+// `vrpbench -quality -gate` fails CI when direction agreement or the
+// certain fraction drops below the committed baseline, or when any
+// stale range-certain prediction survives a demotion.
+
+// QualitySchema identifies the BENCH_quality.json format (EXPERIMENTS.md).
+const QualitySchema = "vrp-quality/v1"
+
+// QualitySuite is one suite's quality row.
+type QualitySuite struct {
+	Suite    string `json:"suite"`
+	Programs int    `json:"programs"`
+	Branches int64  `json:"branches"` // emitted predictions across the suite
+
+	// CertainFraction is the share of emitted predictions that are
+	// range-certain (P ∈ {0, 1}); MeanLog2Width the program-equal mean of
+	// each analysis's mean log₂ hull width; StaleCertain the total
+	// stale-certain count (0 unless a demotion invalidated predictions).
+	CertainFraction float64 `json:"certain_fraction"`
+	MeanLog2Width   float64 `json:"mean_log2_width"`
+	StaleCertain    int64   `json:"stale_certain"`
+
+	// Cells is the total final-lattice cell count across the suite and
+	// BottomFraction the share demoted to ⊥ — the axis that craters
+	// first when the evaluator is starved (forced early widening), even
+	// while heuristic fallbacks keep direction agreement afloat.
+	Cells          int64   `json:"cells"`
+	BottomFraction float64 `json:"bottom_fraction"`
+
+	// AgreementPct is VRP's direction-agreement rate with the
+	// interpreter over executed branches, in percent; PredictorHitPct
+	// the same rate per comparison predictor.
+	AgreementPct    float64            `json:"agreement_pct"`
+	PredictorHitPct map[string]float64 `json:"predictor_hit_pct"`
+}
+
+// QualityReport is the machine-readable content of BENCH_quality.json.
+type QualityReport struct {
+	Schema string         `json:"schema"`
+	Suites []QualitySuite `json:"suites"`
+}
+
+// qualityProgram is one evaluation unit: a source plus its interpreter
+// input and step budget.
+type qualityProgram struct {
+	name     string
+	source   string
+	input    []int64
+	maxSteps int64
+}
+
+// qualitySuites returns the evaluation matrix: both corpus suites on
+// their reference inputs, plus the default and 10k genprog presets
+// (zero-input, step-bounded — the mega-shape traffic vrpd actually
+// serves).
+func qualitySuites() []struct {
+	name  string
+	progs []qualityProgram
+} {
+	var out []struct {
+		name  string
+		progs []qualityProgram
+	}
+	for _, s := range []corpus.Suite{corpus.IntSuite, corpus.FPSuite} {
+		var ps []qualityProgram
+		for _, cp := range corpus.BySuite(s) {
+			ps = append(ps, qualityProgram{name: cp.Name, source: cp.Source, input: cp.Ref})
+		}
+		out = append(out, struct {
+			name  string
+			progs []qualityProgram
+		}{"corpus-" + s.String(), ps})
+	}
+	for _, preset := range []string{"default", "10k"} {
+		cfg, _ := genprog.Preset(preset)
+		out = append(out, struct {
+			name  string
+			progs []qualityProgram
+		}{"gen-" + preset, []qualityProgram{{
+			name:     "gen-" + preset,
+			source:   genprog.Source(cfg),
+			maxSteps: 4 << 20,
+		}}})
+	}
+	return out
+}
+
+// Quality evaluates every suite and assembles the report. maxEvals > 0
+// overrides the engine's per-instruction evaluation budget — the
+// synthetic-regression knob the CI gate uses to prove the gate fires
+// (forcing MaxEvals=1 widens aggressively and craters the certain
+// fraction).
+func Quality(maxEvals int) (*QualityReport, error) {
+	rep := &QualityReport{Schema: QualitySchema}
+	for _, s := range qualitySuites() {
+		qs, err := evalQualitySuite(s.name, s.progs, maxEvals)
+		if err != nil {
+			return nil, err
+		}
+		rep.Suites = append(rep.Suites, qs)
+	}
+	return rep, nil
+}
+
+func evalQualitySuite(name string, progs []qualityProgram, maxEvals int) (QualitySuite, error) {
+	qs := QualitySuite{Suite: name, Programs: len(progs), PredictorHitPct: map[string]float64{}}
+	bottomIdx := 0
+	for i, l := range telemetry.QualityClassLabels {
+		if l == "bottom" {
+			bottomIdx = i
+		}
+	}
+	var widthSum float64
+	widthN := 0
+	var bottomCells int64
+	hits := map[string]int64{}
+	var agreed, executed int64
+	for _, qp := range progs {
+		p, err := vrp.Compile(qp.name+".mini", qp.source)
+		if err != nil {
+			return qs, fmt.Errorf("%s: %w", qp.name, err)
+		}
+		opts := []vrp.Option{vrp.WithTelemetry(), vrp.WithWorkers(1)}
+		if maxEvals > 0 {
+			opts = append(opts, vrp.WithMaxEvals(maxEvals))
+		}
+		a, err := p.Analyze(opts...)
+		if err != nil {
+			return qs, fmt.Errorf("%s vrp: %w", qp.name, err)
+		}
+		q := a.Quality()
+		qs.Branches += q.Branches
+		qs.CertainFraction += float64(q.Certain) // normalized below
+		qs.StaleCertain += q.StaleCertain
+		widthSum += q.MeanLog2Width
+		widthN++
+		qs.Cells += q.Classes.Total()
+		bottomCells += q.Classes.Counts[bottomIdx]
+
+		prof, err := p.RunWith(qp.input, interp.Options{MaxSteps: qp.maxSteps})
+		if err != nil {
+			return qs, fmt.Errorf("%s run: %w", qp.name, err)
+		}
+		vrpPred := predictionMap(a)
+		bl := heuristics.NewBallLarus(p.IR)
+		for _, f := range p.IR.Funcs {
+			for _, b := range f.Blocks {
+				t := b.Terminator()
+				if t == nil || t.Op != ir.OpBr {
+					continue
+				}
+				gt, ran := prof.BranchProb(f, t)
+				if !ran {
+					continue
+				}
+				executed++
+				actual := gt >= 0.5
+				if (vrpPred[t].prob >= 0.5) == actual {
+					agreed++
+					hits[PredVRP]++
+				}
+				if (bl.Prob(f, t) >= 0.5) == actual {
+					hits[PredBallLarus]++
+				}
+				if (heuristics.NinetyFifty(f, t) >= 0.5) == actual {
+					hits[Pred9050]++
+				}
+			}
+		}
+	}
+	if qs.Branches > 0 {
+		qs.CertainFraction /= float64(qs.Branches)
+	}
+	if widthN > 0 {
+		qs.MeanLog2Width = widthSum / float64(widthN)
+	}
+	if qs.Cells > 0 {
+		qs.BottomFraction = float64(bottomCells) / float64(qs.Cells)
+	}
+	if executed > 0 {
+		qs.AgreementPct = 100 * float64(agreed) / float64(executed)
+		for pred, h := range hits {
+			qs.PredictorHitPct[pred] = 100 * float64(h) / float64(executed)
+		}
+	}
+	return qs, nil
+}
+
+// Gate tolerances: agreement may wobble by interpreter-input luck on
+// tiny suites, the certain fraction by range-budget tie-breaks; the
+// stale-certain count (predictions a demotion invalidated and the
+// driver re-derived) gets no slack — growth means new precision loss
+// invalidated predictions that used to hold.
+const (
+	qualityAgreementSlackPct = 2.0
+	qualityCertainSlack      = 0.02
+	qualityBottomSlack       = 0.02
+)
+
+// QualityGate compares a fresh report against the committed baseline and
+// returns an error describing every regression: direction agreement
+// below baseline−2pp, certain fraction below baseline−0.02, or more
+// stale-certain re-derivations than the baseline recorded.
+func QualityGate(base, cur *QualityReport) error {
+	baseBy := map[string]QualitySuite{}
+	for _, s := range base.Suites {
+		baseBy[s.Suite] = s
+	}
+	var fails []string
+	for _, s := range cur.Suites {
+		b, ok := baseBy[s.Suite]
+		if !ok {
+			continue // new suite: no baseline to regress against
+		}
+		if s.AgreementPct < b.AgreementPct-qualityAgreementSlackPct {
+			fails = append(fails, fmt.Sprintf("%s: agreement %.1f%% < baseline %.1f%% - %.1fpp",
+				s.Suite, s.AgreementPct, b.AgreementPct, qualityAgreementSlackPct))
+		}
+		if s.CertainFraction < b.CertainFraction-qualityCertainSlack {
+			fails = append(fails, fmt.Sprintf("%s: certain fraction %.3f < baseline %.3f - %.2f",
+				s.Suite, s.CertainFraction, b.CertainFraction, qualityCertainSlack))
+		}
+		if s.StaleCertain > b.StaleCertain {
+			fails = append(fails, fmt.Sprintf("%s: %d stale range-certain prediction(s) re-derived, baseline %d",
+				s.Suite, s.StaleCertain, b.StaleCertain))
+		}
+		if s.BottomFraction > b.BottomFraction+qualityBottomSlack {
+			fails = append(fails, fmt.Sprintf("%s: ⊥ cell fraction %.3f > baseline %.3f + %.2f",
+				s.Suite, s.BottomFraction, b.BottomFraction, qualityBottomSlack))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("quality gate failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// PrintQuality renders the report as the human-readable companion of the
+// JSON artifact.
+func PrintQuality(w io.Writer, rep *QualityReport) {
+	fmt.Fprintln(w, "Prediction quality per suite (interpreter ground truth):")
+	for _, s := range rep.Suites {
+		fmt.Fprintf(w, "  suite %-10s (%d programs, %d branches)\n", s.Suite, s.Programs, s.Branches)
+		fmt.Fprintf(w, "    certain %.3f  mean-log2-width %.2f  bottom %.3f  agreement %.1f%%  stale-certain %d\n",
+			s.CertainFraction, s.MeanLog2Width, s.BottomFraction, s.AgreementPct, s.StaleCertain)
+		preds := make([]string, 0, len(s.PredictorHitPct))
+		for p := range s.PredictorHitPct {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+		for _, p := range preds {
+			fmt.Fprintf(w, "    %-12s hit %.1f%%\n", p, s.PredictorHitPct[p])
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateReport(agreement, certain float64, stale int64) *QualityReport {
+	return &QualityReport{
+		Schema: QualitySchema,
+		Suites: []QualitySuite{{
+			Suite:           "corpus-int",
+			Programs:        3,
+			Branches:        100,
+			CertainFraction: certain,
+			AgreementPct:    agreement,
+			StaleCertain:    stale,
+		}},
+	}
+}
+
+func TestQualityGate(t *testing.T) {
+	base := gateReport(85, 0.30, 0)
+	cases := []struct {
+		name string
+		cur  *QualityReport
+		fail string // substring of the expected error; "" = pass
+	}{
+		{"identical", gateReport(85, 0.30, 0), ""},
+		{"within-slack", gateReport(85-qualityAgreementSlackPct, 0.30-qualityCertainSlack, 0), ""},
+		{"improved", gateReport(92, 0.45, 0), ""},
+		{"agreement-regressed", gateReport(80, 0.30, 0), "agreement"},
+		{"certain-regressed", gateReport(85, 0.20, 0), "certain fraction"},
+		{"stale-certain", gateReport(85, 0.30, 2), "stale"},
+		{"bottom-regressed", func() *QualityReport {
+			r := gateReport(85, 0.30, 0)
+			r.Suites[0].BottomFraction = 0.5
+			return r
+		}(), "⊥ cell fraction"},
+	}
+	for _, tc := range cases {
+		err := QualityGate(base, tc.cur)
+		if tc.fail == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected gate failure: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: gate passed, want failure mentioning %q", tc.name, tc.fail)
+		} else if !strings.Contains(err.Error(), tc.fail) {
+			t.Errorf("%s: gate error %q does not mention %q", tc.name, err, tc.fail)
+		}
+	}
+}
+
+// TestQualityGateReportsEveryRegression: a report that fails on several
+// axes lists them all, so a CI log shows the full damage in one run.
+func TestQualityGateReportsEveryRegression(t *testing.T) {
+	err := QualityGate(gateReport(85, 0.30, 0), gateReport(70, 0.10, 1))
+	if err == nil {
+		t.Fatal("gate passed on a triple regression")
+	}
+	for _, want := range []string{"agreement", "certain fraction", "stale"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestQualityGateSkipsNewSuites: a suite without a baseline row cannot
+// regress; the gate must not fail on it.
+func TestQualityGateSkipsNewSuites(t *testing.T) {
+	cur := gateReport(85, 0.30, 0)
+	cur.Suites = append(cur.Suites, QualitySuite{Suite: "gen-new", AgreementPct: 1})
+	if err := QualityGate(gateReport(85, 0.30, 0), cur); err != nil {
+		t.Errorf("gate failed on a suite with no baseline: %v", err)
+	}
+}

@@ -66,6 +66,13 @@ type Evidence struct {
 	Prob float64 // asserted probability of the true out-edge
 }
 
+// Names returns the canonical heuristic names, in the fixed order
+// evidence is combined in — the label vocabulary for per-predictor
+// attribution (quality telemetry, accuracy benches).
+func Names() []string {
+	return []string{"loop-branch", "loop-exit", "opcode", "call", "store", "return", "loop-header", "guard"}
+}
+
 // Prob returns the predicted probability of the branch's true out-edge,
 // combining every applicable heuristic with Dempster–Shafer.
 func (h *BallLarus) Prob(f *ir.Func, br *ir.Instr) float64 {

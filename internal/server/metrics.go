@@ -87,6 +87,18 @@ type serverMetrics struct {
 	slo     *sloWindow
 	sloOver *metrics.Counter    // vrpd_slo_over_target_total
 	kept    *metrics.CounterVec // vrpd_recorder_kept_total{class}
+
+	// Prediction quality, folded from each run's Quality digest: branch
+	// and certainty counters, the precision-loss ledger by cause,
+	// confidence-bucket and evidence attribution, and the last analysis's
+	// mean log₂ hull width (a state, so a gauge).
+	qBranches   *metrics.Counter    // vrpd_quality_branches_total
+	qCertain    *metrics.Counter    // vrpd_quality_certain_total
+	qStale      *metrics.Counter    // vrpd_quality_stale_certain_total
+	qLoss       *metrics.CounterVec // vrpd_quality_loss_total{cause}
+	qConfidence *metrics.CounterVec // vrpd_quality_confidence_total{bucket}
+	qEvidence   *metrics.CounterVec // vrpd_quality_evidence_total{predictor}
+	qMeanWidth  *metrics.Gauge      // vrpd_quality_mean_log2_width
 }
 
 // phaseNames is the fixed request-phase vocabulary: the direct children
@@ -246,6 +258,32 @@ func newServerMetrics(start time.Time, sloTarget float64) *serverMetrics {
 	m.kept = reg.CounterVec("vrpd_recorder_kept_total",
 		"Requests retained by the flight recorder, by retention class (interesting/slow/sample).", "class")
 
+	// Prediction-quality surface (analyses run with telemetry, which is
+	// every fresh analysis vrpd performs).
+	m.qBranches = reg.Counter("vrpd_quality_branches_total",
+		"Conditional branch predictions emitted across all analyses.")
+	m.qCertain = reg.Counter("vrpd_quality_certain_total",
+		"Range-derived certain (P in {0,1}) predictions across all analyses.")
+	m.qStale = reg.Counter("vrpd_quality_stale_certain_total",
+		"Range-certain predictions invalidated by non-convergence demotion and re-derived from heuristics.")
+	m.qLoss = reg.CounterVec("vrpd_quality_loss_total",
+		"Precision-loss ledger events by cause (widen, recursion-pin, demotion, phi-hull; assert-tighten counts precision gained).", "cause")
+	m.qConfidence = reg.CounterVec("vrpd_quality_confidence_total",
+		"Branch predictions by confidence bucket (max(p, 1-p)).", "bucket")
+	m.qEvidence = reg.CounterVec("vrpd_quality_evidence_total",
+		"Branch predictions by contributing predictor (range, default, each Ball-Larus heuristic, dempster-shafer, uniform).", "predictor")
+	m.qMeanWidth = reg.Gauge("vrpd_quality_mean_log2_width",
+		"Mean log2(hull width + 1) over measurable final cells of the last analysis.")
+	reg.GaugeFunc("vrpd_quality_certain_ratio",
+		"Fraction of emitted predictions that are range-certain, over all analyses.",
+		func() float64 {
+			b := m.qBranches.Value()
+			if b == 0 {
+				return 0
+			}
+			return float64(m.qCertain.Value()) / float64(b)
+		})
+
 	// Build identity as an info-style gauge: constant 1, payload in the
 	// labels, the Prometheus convention for joining version metadata.
 	version := "unknown"
@@ -307,4 +345,22 @@ func (m *serverMetrics) observeSnapshot(s *telemetry.Snapshot) {
 	m.internArena.Set(float64(s.InternArenaBytes))
 	m.internEvictions.Set(float64(s.InternEvictions))
 	m.passes.Observe(float64(s.Passes))
+
+	if q := s.Quality; q != nil {
+		m.qBranches.Add(q.Branches)
+		m.qCertain.Add(q.Certain)
+		m.qStale.Add(q.StaleCertain)
+		for cause, n := range q.Loss {
+			m.qLoss.With(cause).Add(n)
+		}
+		for i, label := range telemetry.QualityConfidenceLabels {
+			if n := q.Confidence.Counts[i]; n > 0 {
+				m.qConfidence.With(label).Add(n)
+			}
+		}
+		for pred, n := range q.Evidence {
+			m.qEvidence.With(pred).Add(n)
+		}
+		m.qMeanWidth.Set(q.MeanLog2Width)
+	}
 }

@@ -55,6 +55,11 @@ type recordedRequest struct {
 	Phases      map[string]int64 `json:"phases"` // top-level phase → ns
 	Spans       []telemetry.Span `json:"-"`
 
+	// Quality is the analysis's prediction-quality digest (nil for cache
+	// hits, errors and sheds). Served by /debug/vrpd/quality, not by the
+	// index.
+	Quality *telemetry.Quality `json:"-"`
+
 	keep int // retention class (mutable: slow entries can demote)
 }
 
@@ -214,7 +219,29 @@ func (r *flightRecorder) index() []*recordedRequest {
 	for i, e := range r.entries {
 		c := *e
 		c.Spans = nil
+		c.Quality = nil
 		out[len(out)-1-i] = &c
+	}
+	return out
+}
+
+// qualityRows returns the retained requests that carry a quality digest,
+// newest first (fresh analyses only: cache hits and failures have none).
+func (r *flightRecorder) qualityRows() []*recordedRequest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*recordedRequest
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		e := r.entries[i]
+		if e.Quality == nil {
+			continue
+		}
+		c := *e
+		c.Spans = nil
+		out = append(out, &c)
 	}
 	return out
 }
@@ -276,6 +303,54 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			return idx.Requests[a].DurMS > idx.Requests[b].DurMS
 		})
 	}
+	s.writeJSON(w, http.StatusOK, idx)
+}
+
+// qualityRow is one request's entry in GET /debug/vrpd/quality: identity
+// plus the full per-function quality digest of its analysis.
+type qualityRow struct {
+	ID          string             `json:"id"`
+	Seq         int64              `json:"seq"`
+	Fingerprint string             `json:"fingerprint,omitempty"`
+	Outcome     string             `json:"outcome"`
+	Keep        string             `json:"keep"`
+	DurMS       float64            `json:"dur_ms"`
+	Quality     *telemetry.Quality `json:"quality"`
+}
+
+// qualityIndex is the JSON body of GET /debug/vrpd/quality.
+type qualityIndex struct {
+	Count    int           `json:"count"`
+	Requests []*qualityRow `json:"requests"` // newest first
+}
+
+// handleQuality serves the prediction-quality tables of the flight
+// recorder's kept requests: per-function cell classes, branch provenance
+// and scores, the loss ledger and the evidence attribution of every
+// retained fresh analysis.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "", "GET /debug/vrpd/quality")
+		return
+	}
+	if s.recorder == nil {
+		s.writeError(w, http.StatusNotFound, "", "flight recorder disabled (-recorder 0)")
+		return
+	}
+	idx := &qualityIndex{Requests: []*qualityRow{}}
+	for _, e := range s.recorder.qualityRows() {
+		idx.Requests = append(idx.Requests, &qualityRow{
+			ID:          e.ID,
+			Seq:         e.Seq,
+			Fingerprint: e.Fingerprint,
+			Outcome:     e.Outcome,
+			Keep:        e.Keep,
+			DurMS:       e.DurMS,
+			Quality:     e.Quality,
+		})
+	}
+	idx.Count = len(idx.Requests)
 	s.writeJSON(w, http.StatusOK, idx)
 }
 

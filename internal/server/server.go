@@ -208,6 +208,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("/debug/vrpd/requests", s.instrument("/debug/vrpd/requests", s.handleRequests))
+	s.mux.Handle("/debug/vrpd/quality", s.instrument("/debug/vrpd/quality", s.handleQuality))
 	s.mux.Handle("/debug/vrpd/trace/", s.instrument("/debug/vrpd/trace", s.handleTrace))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -365,6 +366,11 @@ type AnalyzeResponse struct {
 	Explanation string `json:"explanation,omitempty"`
 	// Telemetry is the run's full snapshot for ?telemetry=1.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+
+	// quality is the run's prediction-quality digest, carried to the
+	// flight recorder (unexported: not part of the response body, which
+	// must stay byte-identical between fresh analyses and cache hits).
+	quality *telemetry.Quality
 }
 
 // PredictionJSON is one conditional branch's prediction.
@@ -551,6 +557,7 @@ func (s *Server) finishAnalyze(ctx context.Context, tr *telemetry.Trace, root te
 	if resp != nil {
 		e.Converged = resp.Converged
 		e.Degraded = resp.Stats.FuncsDegraded > 0
+		e.Quality = resp.quality
 	}
 	if class, kept := s.recorder.offer(e); kept {
 		s.m.kept.With(class).Inc()
@@ -705,6 +712,7 @@ func (s *Server) analyzeCompiled(ctx context.Context, prog *vrp.Program, explain
 			FuncsDegraded: analysis.Result.Stats.FuncsDegraded,
 			RecWidens:     analysis.Result.Stats.RecWidens,
 		},
+		quality: analysis.Quality(),
 	}
 	for _, p := range analysis.Predictions() {
 		resp.Predictions = append(resp.Predictions, PredictionJSON{

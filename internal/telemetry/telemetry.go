@@ -48,6 +48,12 @@ type RunMetrics struct {
 	DeriveMiss int64 // derivation attempts that fell back to brute force
 	Asserts    int64 // assertion (π-node) refinements applied
 
+	// Precision-flow counters for the quality ledger: φ-merges whose
+	// result hull was strictly coarser than every informative input, and
+	// π-refinements that strictly narrowed their parent value.
+	PhiHulls       int64
+	AssertTightens int64
+
 	// Hash-cons and memo traffic of the run's range calculator: intern
 	// table lookups that found an existing representative vs. created one,
 	// transfer-function memo hits vs. recomputations, intern lookups that
@@ -127,6 +133,22 @@ func (m *RunMetrics) Assert() {
 	}
 }
 
+// PhiHull records one φ-merge that coarsened its inputs' hulls — a
+// precision-loss event in the quality ledger.
+func (m *RunMetrics) PhiHull() {
+	if m != nil {
+		m.PhiHulls++
+	}
+}
+
+// AssertTighten records one π-refinement that strictly narrowed its
+// parent — the quality ledger's precision-gain entry.
+func (m *RunMetrics) AssertTighten() {
+	if m != nil {
+		m.AssertTightens++
+	}
+}
+
 // AddLattice folds the range calculator's hash-cons and memo counters
 // into the run.
 func (m *RunMetrics) AddLattice(lc LatticeCounters) {
@@ -169,6 +191,8 @@ func (f *FuncMetrics) fold(m *RunMetrics) {
 	f.DeriveHits += m.DeriveHits
 	f.DeriveMiss += m.DeriveMiss
 	f.Asserts += m.Asserts
+	f.PhiHulls += m.PhiHulls
+	f.AssertTightens += m.AssertTightens
 	f.InternHits += m.InternHits
 	f.InternMiss += m.InternMiss
 	f.MemoHits += m.MemoHits
@@ -197,6 +221,8 @@ func (f *FuncMetrics) addTotals(o *FuncMetrics) {
 	f.DeriveHits += o.DeriveHits
 	f.DeriveMiss += o.DeriveMiss
 	f.Asserts += o.Asserts
+	f.PhiHulls += o.PhiHulls
+	f.AssertTightens += o.AssertTightens
 	f.InternHits += o.InternHits
 	f.InternMiss += o.InternMiss
 	f.MemoHits += o.MemoHits
@@ -436,6 +462,12 @@ type Snapshot struct {
 	RangeSpan    *Histogram `json:"range_span,omitempty"`
 	PassRuns     *Histogram `json:"pass_runs,omitempty"`
 
+	// Quality is the prediction-quality digest (cell classes and widths,
+	// the precision-loss ledger, per-branch evidence attribution and
+	// per-function scores), built by the driver from the final results.
+	// Fully deterministic — Canon clones it unchanged.
+	Quality *Quality `json:"quality,omitempty"`
+
 	// Events is the flattened trace in deterministic (pass, wave,
 	// category, function index, slot order) order.
 	Events []Event `json:"events"`
@@ -506,6 +538,7 @@ func (s *Snapshot) Canon() *Snapshot {
 	c.RangeSetSize = s.RangeSetSize.clone()
 	c.RangeSpan = s.RangeSpan.clone()
 	c.PassRuns = s.PassRuns.clone()
+	c.Quality = s.Quality.clone()
 	c.Events = make([]Event, len(s.Events))
 	for i, ev := range s.Events {
 		ev.Start, ev.Dur = 0, 0

@@ -19,6 +19,8 @@ func TestDisabledRunMetricsZeroAlloc(t *testing.T) {
 		m.Widen()
 		m.AddWidens(5)
 		m.Assert()
+		m.PhiHull()
+		m.AssertTighten()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled-path telemetry allocated %.1f per run, want 0", allocs)

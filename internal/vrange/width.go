@@ -1,0 +1,156 @@
+package vrange
+
+// Width and class accounting for the prediction-quality observatory
+// (DESIGN.md §3.12). A final lattice cell is scored on two axes:
+//
+//   - its ValueClass — how much the analysis ultimately knew about the
+//     register, ordered from "everything" (infeasible: the code never
+//     runs) to "nothing" (⊥);
+//   - its hull width — for measurable Set values, the widest numeric
+//     Lo..Hi span across the value's ranges, the quantity whose growth
+//     is precision loss and whose shrinkage (π-refinement) is gain.
+//
+// Everything here is a pure function of Value contents, so the quality
+// counters built on top are bit-identical across worker counts.
+
+// ValueClass buckets a lattice cell for quality accounting.
+type ValueClass int
+
+// Value classes, ordered most-precise first (see PrecisionRank).
+const (
+	ClassInfeasible ValueClass = iota // Set with zero ranges: unreachable
+	ClassPoint                        // every range is a single numeric point
+	ClassNarrow                       // numeric, hull width ≤ NarrowWidth
+	ClassWide                         // numeric, hull width > NarrowWidth
+	ClassSymbolic                     // at least one non-numeric bound
+	ClassTop                          // ⊤: never evaluated (optimistic)
+	ClassBottom                       // ⊥: unpredictable
+)
+
+// NarrowWidth is the hull-width boundary between "narrow" and "wide"
+// cells: 64 matches the ≤64 bucket of the range-span histogram, roughly
+// "small enough that ProbTrue splits it meaningfully".
+const NarrowWidth = 64
+
+func (c ValueClass) String() string {
+	switch c {
+	case ClassInfeasible:
+		return "infeasible"
+	case ClassPoint:
+		return "point"
+	case ClassNarrow:
+		return "narrow"
+	case ClassWide:
+		return "wide"
+	case ClassSymbolic:
+		return "symbolic"
+	case ClassTop:
+		return "top"
+	case ClassBottom:
+		return "bottom"
+	}
+	return "unknown"
+}
+
+// Classify returns a value's class and, for numeric Set values, its hull
+// width: the largest Hi−Lo difference over the value's ranges (0 for
+// points). The width is 0 for every other class.
+func Classify(v Value) (ValueClass, int64) {
+	switch {
+	case v.IsTop():
+		return ClassTop, 0
+	case v.IsBottom():
+		return ClassBottom, 0
+	case v.IsInfeasible():
+		return ClassInfeasible, 0
+	}
+	width := int64(0)
+	for _, r := range v.Ranges {
+		if !r.Lo.IsNum() || !r.Hi.IsNum() {
+			return ClassSymbolic, 0
+		}
+		w, ok := r.Hi.Diff(r.Lo)
+		if !ok {
+			return ClassSymbolic, 0
+		}
+		if w > width {
+			width = w
+		}
+	}
+	switch {
+	case width == 0:
+		return ClassPoint, 0
+	case width <= NarrowWidth:
+		return ClassNarrow, width
+	}
+	return ClassWide, width
+}
+
+// PrecisionRank orders classes most-precise-first for loss accounting:
+// a transition to a higher rank is coarsening. ⊤ ranks above every
+// measurable class but below ⊥ — optimism is not information, but it is
+// still "will be refined", whereas ⊥ is final.
+func PrecisionRank(c ValueClass) int {
+	switch c {
+	case ClassInfeasible:
+		return 0
+	case ClassPoint:
+		return 1
+	case ClassNarrow:
+		return 2
+	case ClassWide:
+		return 3
+	case ClassSymbolic:
+		return 4
+	case ClassTop:
+		return 5
+	}
+	return 6 // ClassBottom
+}
+
+// MergeLoss reports whether a φ-merge strictly coarsened the information
+// its inputs carried: the result's class outranks every input's class,
+// or — when result and best input are both measurable at the same rank —
+// the result's hull is strictly wider. ⊤ inputs are skipped (an
+// unevaluated operand contributes optimism, not information); a merge
+// with no informative input can never lose.
+func MergeLoss(out Value, in []Weighted) bool {
+	outC, outW := Classify(out)
+	outRank := PrecisionRank(outC)
+	best := -1
+	bestW := int64(0)
+	for _, item := range in {
+		c, w := Classify(item.Val)
+		if c == ClassTop {
+			continue
+		}
+		r := PrecisionRank(c)
+		if best < 0 || r < best || (r == best && w < bestW) {
+			best, bestW = r, w
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	if outRank != best {
+		return outRank > best
+	}
+	return outW > bestW
+}
+
+// RefineGain reports whether a π-assertion refinement produced a value
+// strictly more precise than its parent: a better class rank, or the
+// same measurable rank with a strictly narrower hull. Parents still at ⊤
+// are skipped — refining optimism is evaluation, not tightening.
+func RefineGain(parent, refined Value) bool {
+	pc, pw := Classify(parent)
+	if pc == ClassTop {
+		return false
+	}
+	rc, rw := Classify(refined)
+	pr, rr := PrecisionRank(pc), PrecisionRank(rc)
+	if rr != pr {
+		return rr < pr
+	}
+	return rw < pw
+}

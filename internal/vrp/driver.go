@@ -3,6 +3,7 @@ package vrp
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -11,6 +12,8 @@ import (
 	"sync/atomic"
 
 	"vrp/internal/callgraph"
+	"vrp/internal/dom"
+	"vrp/internal/freq"
 	"vrp/internal/ir"
 	"vrp/internal/telemetry"
 	"vrp/internal/vrange"
@@ -168,6 +171,14 @@ type driver struct {
 	// only nondeterministic fields.
 	rec *telemetry.Recorder
 
+	// Non-convergence demotion accounting (filled single-threaded by
+	// demoteUnconverged): ⊤ cells demoted to ⊥, and range-certain branch
+	// predictions invalidated by the demotion and re-derived from
+	// heuristics (per function in staleCertainFn, by function index).
+	demotedTop     int64
+	staleCertain   int64
+	staleCertainFn []int
+
 	pass      int // current 0-based pass, for diagnostics
 	stats     statCounters
 	changed   atomic.Bool
@@ -196,6 +207,7 @@ func newDriver(p *ir.Program, cfg Config) *driver {
 		diags:    make([][]Diagnostic, n),
 		rec:      cfg.Telemetry,
 	}
+	d.staleCertainFn = make([]int, n)
 	d.scratch = make([]*engineScratch, n)
 	if cfg.FuncStore != nil {
 		d.bodyEnc = make([][]byte, n)
@@ -314,6 +326,7 @@ func (d *driver) run(ctx context.Context) (*Result, error) {
 	res.Stats.Converged = !d.changed.Load()
 	if !res.Stats.Converged {
 		d.demoteUnconverged(res.Stats.Passes)
+		res.Stats.StaleCertain = d.staleCertain
 	}
 	for i, f := range d.cg.Funcs {
 		res.Funcs[f] = d.results[i]
@@ -375,7 +388,144 @@ func (d *driver) finishTelemetry(res *Result, maxPasses int) {
 		passRuns.Add(int(fm.Runs))
 	}
 	snap.PassRuns = passRuns
+
+	q := d.buildQuality(snap)
+	snap.Quality = q
+	res.Quality = q
 	res.Telemetry = snap
+}
+
+// qualityClassBucket maps a ValueClass to its index in
+// telemetry.QualityClassLabels (point, narrow, wide, symbolic, top,
+// bottom, infeasible).
+func qualityClassBucket(c vrange.ValueClass) int {
+	switch c {
+	case vrange.ClassPoint:
+		return 0
+	case vrange.ClassNarrow:
+		return 1
+	case vrange.ClassWide:
+		return 2
+	case vrange.ClassSymbolic:
+		return 3
+	case vrange.ClassTop:
+		return 4
+	case vrange.ClassBottom:
+		return 5
+	}
+	return 6 // ClassInfeasible
+}
+
+// buildQuality assembles the prediction-quality digest from the final
+// results. It runs single-threaded after the fixpoint (and after the
+// non-convergence demotion), reads only final state, and consults
+// Config.Evidence off the hot path — so the digest is bit-identical for
+// every worker count and costs nothing when telemetry is off.
+func (d *driver) buildQuality(snap *telemetry.Snapshot) *telemetry.Quality {
+	q := telemetry.NewQuality()
+	var widthSum float64
+	var widthN int64
+	for fi, f := range d.cg.Funcs {
+		fr := d.results[fi]
+		if fr == nil {
+			continue
+		}
+		fq := telemetry.FuncQuality{Func: f.Name}
+		for _, v := range fr.Val {
+			c, w := vrange.Classify(v)
+			q.Classes.Add(qualityClassBucket(c))
+			fq.Cells++
+			switch c {
+			case vrange.ClassPoint:
+				fq.Point++
+			case vrange.ClassNarrow:
+				fq.Narrow++
+			case vrange.ClassWide:
+				fq.Wide++
+			case vrange.ClassSymbolic:
+				fq.Symbolic++
+			case vrange.ClassTop:
+				fq.Top++
+			case vrange.ClassBottom:
+				fq.Bottom++
+			case vrange.ClassInfeasible:
+				fq.Infeasible++
+			}
+			if c == vrange.ClassPoint || c == vrange.ClassNarrow || c == vrange.ClassWide {
+				q.Width.Add(telemetry.WidthBucket(w))
+				widthSum += math.Log2(float64(w) + 1)
+				widthN++
+			}
+		}
+		var score float64
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			p, ok := fr.BranchProb[t]
+			src := fr.BranchSource[t]
+			if !ok {
+				p, src = 0.5, ByDefault
+			}
+			q.Branches++
+			fq.Branches++
+			q.Confidence.Add(telemetry.ConfidenceBucket(p))
+			switch src {
+			case ByRange:
+				q.Evidence["range"]++
+				fq.Range++
+				if p == 0 || p == 1 {
+					q.Certain++
+					fq.Certain++
+					score += 1.0
+				} else {
+					score += 0.7
+				}
+			case ByHeuristic:
+				fq.Heuristic++
+				score += 0.4
+				if d.cfg.Evidence == nil {
+					q.Evidence["heuristic"]++
+					break
+				}
+				evs := d.cfg.Evidence(f, t)
+				if len(evs) == 0 {
+					q.Evidence["uniform"]++
+					break
+				}
+				for _, ev := range evs {
+					q.Evidence[ev.Name]++
+				}
+				if len(evs) >= 2 {
+					q.Evidence["dempster-shafer"]++
+				}
+			default:
+				q.Evidence["default"]++
+				fq.Default++
+			}
+		}
+		fq.StaleCertain = int64(d.staleCertainFn[fi])
+		if fq.Branches > 0 {
+			fq.Score = score / float64(fq.Branches)
+		}
+		q.Funcs = append(q.Funcs, fq)
+	}
+	q.Loss["widen"] = snap.Totals.Widens
+	q.Loss["recursion-pin"] = d.ip.recWidens.Load()
+	q.Loss["demotion"] = d.demotedTop
+	q.Loss["phi-hull"] = snap.Totals.PhiHulls
+	// assert-tighten counts precision *gained* (the ledger's negative
+	// entry); it is stored positive so metric counters stay monotone.
+	q.Loss["assert-tighten"] = snap.Totals.AssertTightens
+	q.StaleCertain = d.staleCertain
+	if q.Branches > 0 {
+		q.CertainRatio = float64(q.Certain) / float64(q.Branches)
+	}
+	if widthN > 0 {
+		q.MeanLog2Width = widthSum / float64(widthN)
+	}
+	return q
 }
 
 // observeValue buckets one final register value into the range-set-size
@@ -451,9 +601,11 @@ func (d *driver) collectDiags() []Diagnostic {
 // function still reports after MaxPasses is an optimistic assumption that
 // was never validated, so it is demoted to ⊥ (Wegman–Zadeck optimism is
 // only sound at a fixed point) and the function gets a DiagNonConvergence
-// diagnostic. Branch probabilities need no patching: a ⊤-controlled
-// branch never received a range-based probability (the engine's finalize
-// already assigned the heuristic fallback).
+// diagnostic. Branch probabilities in demoted functions DO need patching:
+// the final engine run computed them from ranges that were still moving,
+// so a range-certain P ∈ {0, 1} there is an unvalidated claim that one
+// side never runs. redoStalePredictions re-derives those from heuristic
+// evidence only and re-solves the function's edge frequencies.
 func (d *driver) demoteUnconverged(passes int) {
 	for fi, fr := range d.results {
 		if fr == nil {
@@ -467,16 +619,71 @@ func (d *driver) demoteUnconverged(passes int) {
 			}
 		}
 		if demoted > 0 {
+			stale := d.redoStalePredictions(fi, fr)
+			d.demotedTop += int64(demoted)
+			d.staleCertain += int64(stale)
+			msg := fmt.Sprintf("fixpoint not reached after %d pass(es): %d optimistic ⊤ value(s) demoted to ⊥",
+				passes, demoted)
+			if stale > 0 {
+				msg += fmt.Sprintf("; %d stale range-certain prediction(s) re-derived from heuristics", stale)
+			}
 			d.diags[fi] = append(d.diags[fi], Diagnostic{
 				Kind: DiagNonConvergence,
 				Func: fr.Fn.Name,
 				SCC:  d.cg.SCCID[fi],
 				Pass: d.pass,
-				Msg: fmt.Sprintf("fixpoint not reached after %d pass(es): %d optimistic ⊤ value(s) demoted to ⊥",
-					passes, demoted),
+				Msg:  msg,
 			})
 		}
 	}
+}
+
+// redoStalePredictions replaces every range-certain (P ∈ {0, 1},
+// Source == ByRange) prediction in a demoted function with the heuristic
+// fallback: certainty derived from ranges that never reached a fixpoint
+// is not evidence that a branch side is dead. Softer range predictions
+// are kept — they degrade gracefully — but certainty is all-or-nothing.
+// When any prediction changes, the function's edge frequencies are
+// re-solved from the patched probabilities so downstream consumers stay
+// consistent with what is now claimed. Returns the number of patched
+// predictions (also recorded per function for the quality snapshot).
+func (d *driver) redoStalePredictions(fi int, fr *FuncResult) int {
+	f := fr.Fn
+	stale := 0
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		p, ok := fr.BranchProb[t]
+		if !ok || fr.BranchSource[t] != ByRange || (p != 0 && p != 1) {
+			continue
+		}
+		np := 0.5
+		if d.cfg.Fallback != nil {
+			np = d.cfg.Fallback(f, t)
+		}
+		fr.BranchProb[t] = np
+		fr.BranchSource[t] = ByHeuristic
+		stale++
+	}
+	if stale == 0 {
+		return 0
+	}
+	tree := dom.New(f)
+	loops := dom.FindLoops(f, tree)
+	sol := freq.Compute(f, tree, loops, func(br *ir.Instr) (float64, bool) {
+		p, ok := fr.BranchProb[br]
+		return p, ok
+	})
+	for i, v := range sol.Edge {
+		if v > d.cfg.MaxFreq {
+			sol.Edge[i] = d.cfg.MaxFreq
+		}
+	}
+	fr.EdgeFreq = sol.Edge
+	d.staleCertainFn[fi] = stale
+	return stale
 }
 
 // runWave analyzes every SCC of one wave, concurrently when the pool and

@@ -574,7 +574,11 @@ func (e *engine) evalInstr(in *ir.Instr) {
 		if in.B != ir.None {
 			other = e.symVal(in.B)
 		}
-		nv = e.calc.Refine(e.val[in.A], in.BinOp, other)
+		parent := e.val[in.A]
+		nv = e.calc.Refine(parent, in.BinOp, other)
+		if e.tm != nil && vrange.RefineGain(parent, nv) {
+			e.tm.AssertTighten()
+		}
 	case ir.OpCall:
 		callee := e.prog().ByName[in.Callee]
 		if callee == nil {
@@ -672,13 +676,18 @@ func (e *engine) evalPhi(phi *ir.Instr) {
 		items = append(items, vrange.Weighted{Val: e.val[o.reg], W: o.w})
 	}
 	e.phiItems = items
+	var nv vrange.Value
 	if hasBack {
 		// Loop-header φ: weights freeze once the loop's frequencies
 		// converge, so the exact-key merge memo hits on every body step.
-		e.setValue(phi, e.calc.MergeLoopHeader(items))
-		return
+		nv = e.calc.MergeLoopHeader(items)
+	} else {
+		nv = e.calc.Merge(items)
 	}
-	e.setValue(phi, e.calc.Merge(items))
+	if e.tm != nil && vrange.MergeLoss(nv, items) {
+		e.tm.PhiHull()
+	}
+	e.setValue(phi, nv)
 }
 
 // copyRoot chases copy chains only (no assertion unwrapping).

@@ -28,6 +28,20 @@ import (
 // similar to those in [BallLarus93] must be used").
 type FallbackFunc func(f *ir.Func, br *ir.Instr) float64
 
+// EvidenceItem names one heuristic that contributed to a fallback
+// probability, with the single-heuristic probability it argued for.
+type EvidenceItem struct {
+	Name string
+	Prob float64
+}
+
+// EvidenceFunc explains a fallback prediction for the quality telemetry:
+// the individual heuristics (by name) that fired on a branch. It is
+// consulted only while the driver builds the quality snapshot — never on
+// the engine hot path — and only for branches whose probability came from
+// Config.Fallback.
+type EvidenceFunc func(f *ir.Func, br *ir.Instr) []EvidenceItem
+
 // Config controls an analysis run. The zero value is not useful; start
 // from DefaultConfig.
 type Config struct {
@@ -69,6 +83,11 @@ type Config struct {
 
 	// Fallback predicts ⊥-controlled branches; nil means 0.5.
 	Fallback FallbackFunc
+
+	// Evidence attributes fallback predictions to individual heuristics
+	// for the quality snapshot (see EvidenceFunc). nil — the default —
+	// attributes every heuristic branch to the generic "heuristic" key.
+	Evidence EvidenceFunc
 
 	// FreqEpsilon is the relative change threshold under which an edge
 	// frequency update is not considered a change (termination control
@@ -191,6 +210,11 @@ type Stats struct {
 	// same-SCC argument positions) pinned by recursion widening
 	// (Config.RecWidenAfter). Zero when the feature is off.
 	RecWidens int64
+
+	// StaleCertain counts range-certain (P ∈ {0, 1}) predictions that
+	// were invalidated by the non-convergence ⊤→⊥ demotion and re-derived
+	// from heuristics. Always 0 on converged runs.
+	StaleCertain int64
 }
 
 // PredictionSource says how a branch probability was obtained.
@@ -260,6 +284,11 @@ type Result struct {
 	// Config.Telemetry was set, nil otherwise. Everything in it except
 	// wall-clock durations is bit-identical across worker counts.
 	Telemetry *telemetry.Snapshot
+
+	// Quality is the prediction-quality digest (the same object as
+	// Telemetry.Quality) when Config.Telemetry was set, nil otherwise.
+	// Fully deterministic across worker counts.
+	Quality *telemetry.Quality
 }
 
 // Branches returns every conditional branch prediction in deterministic

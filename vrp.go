@@ -288,6 +288,14 @@ func (p *Program) Analyze(opts ...Option) (*Analysis, error) {
 	cfg := corevrp.DefaultConfig()
 	bl := heuristics.NewBallLarus(p.IR)
 	cfg.Fallback = bl.Prob
+	cfg.Evidence = func(f *ir.Func, br *ir.Instr) []corevrp.EvidenceItem {
+		evs := bl.Explain(f, br)
+		items := make([]corevrp.EvidenceItem, len(evs))
+		for i, ev := range evs {
+			items[i] = corevrp.EvidenceItem{Name: ev.Name, Prob: ev.Prob}
+		}
+		return items
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -370,6 +378,20 @@ func (a *Analysis) Frequencies() *freq.ProgramFrequencies {
 // unless the analysis ran with WithTelemetry.
 func (a *Analysis) Telemetry() *TelemetrySnapshot {
 	return a.Result.Telemetry
+}
+
+// QualitySnapshot is the prediction-quality digest of one analysis run:
+// final-cell class and width histograms, the precision-loss ledger,
+// per-predictor evidence attribution and per-function quality scores.
+// Unlike the rest of the telemetry snapshot it carries no wall-clock
+// state, so every field is bit-identical across worker counts. See
+// DESIGN.md §3.12.
+type QualitySnapshot = telemetry.Quality
+
+// Quality returns the run's prediction-quality digest, or nil unless the
+// analysis ran with WithTelemetry.
+func (a *Analysis) Quality() *QualitySnapshot {
+	return a.Result.Quality
 }
 
 // BranchExplanation is the full provenance of one branch prediction: the
